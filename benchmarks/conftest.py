@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+synthetic scale (override with the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_EPOCHS``
+environment variables; ``REPRO_BENCH_SCALE=1.0`` reproduces paper-sized
+workloads).  Regenerated rows are written to ``benchmarks/results/`` so the
+series can be inspected and diffed against EXPERIMENTS.md.
+
+Experiments (train + calibrate) are cached per task for the session — the
+figure generators share them, so the suite time is dominated by the 16
+distinct task trainings.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.harness import Experiment, ExperimentSettings, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "25"))
+BENCH_RECORDS = int(os.environ.get("REPRO_BENCH_RECORDS", "350"))
+
+
+def bench_settings(**overrides) -> ExperimentSettings:
+    defaults = dict(
+        scale=BENCH_SCALE,
+        max_records=BENCH_RECORDS,
+        epochs=BENCH_EPOCHS,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ExperimentSettings(**defaults)
+
+
+@pytest.fixture(scope="session")
+def experiment_cache() -> Dict[str, Experiment]:
+    return {}
+
+
+@pytest.fixture(scope="session")
+def get_experiment(experiment_cache):
+    """Session-cached experiment factory keyed by task id."""
+
+    def factory(task_id: str) -> Experiment:
+        if task_id not in experiment_cache:
+            experiment_cache[task_id] = run_experiment(
+                task_id, settings=bench_settings()
+            )
+        return experiment_cache[task_id]
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write a rendered table/series to benchmarks/results/<name>.txt."""
+
+    def writer(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return writer

@@ -1,0 +1,40 @@
+"""Ablation — LSTM encoder vs mean-pooled MLP encoder.
+
+The paper motivates the LSTM as "suitable for modeling temporal
+relationships"; DESIGN.md lists the encoder as an ablation target.  The
+covariates carry temporal structure (the precursor ramp's *slope* encodes
+time-to-onset), so the order-aware encoder should match or beat the
+order-blind one on end-to-end REC at comparable SPL.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_settings
+from repro.harness import format_table, run_experiment
+from repro.metrics import evaluate
+
+
+def test_encoder_ablation(benchmark, save_result):
+    def run():
+        rows = []
+        for encoder in ("lstm", "gru", "mean"):
+            experiment = run_experiment(
+                "TA10", settings=bench_settings(), encoder=encoder
+            )
+            eho = experiment.evaluate("EHO")
+            ehcr = experiment.evaluate("EHCR", confidence=0.95, alpha=0.9)
+            rows.append({"encoder": encoder, "rule": "EHO", **eho.as_dict()})
+            rows.append({"encoder": encoder, "rule": "EHCR", **ehcr.as_dict()})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_encoder", format_table(rows))
+
+    lstm_eho = next(r for r in rows if r["encoder"] == "lstm" and r["rule"] == "EHO")
+    mean_eho = next(r for r in rows if r["encoder"] == "mean" and r["rule"] == "EHO")
+    # Order-aware encoding should not lose to mean pooling on this data.
+    assert lstm_eho["REC"] >= mean_eho["REC"] - 0.08, (lstm_eho, mean_eho)
+
+    # Both encoders remain far better than relaying everything.
+    for row in rows:
+        assert row["SPL"] < 0.9, row

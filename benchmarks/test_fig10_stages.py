@@ -1,0 +1,36 @@
+"""Fig. 10 — proportion of pipeline time per stage (TA10, REC ≈ 0.9).
+
+Paper: CI processing dominates (≈95.9%), feature extraction is small
+(≈4.0%), and EventHit itself is negligible (≈0.1%) — the reason reducing
+CI invocations is the right objective.
+"""
+
+import pytest
+
+from repro.harness import fig10_stage_breakdown
+
+
+def test_fig10(benchmark, get_experiment, save_result):
+    experiment = get_experiment("TA10")
+    props = benchmark.pedantic(
+        fig10_stage_breakdown,
+        args=("TA10",),
+        kwargs=dict(rec_target=0.9, experiment=experiment),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "fig10_stages",
+        "\n".join(f"{k}: {v:.4f}" for k, v in sorted(props.items())),
+    )
+
+    stages = ("feature_extraction", "predictor", "cloud_inference")
+    total = sum(props[s] for s in stages)
+    assert total == pytest.approx(1.0)
+
+    # The paper's ordering: CI >> feature extraction >> EventHit.
+    assert props["cloud_inference"] > 0.5
+    assert props["cloud_inference"] > props["feature_extraction"]
+    assert props["feature_extraction"] > props["predictor"]
+    assert props["predictor"] < 0.02
+    assert props["achieved_REC"] >= 0.8

@@ -1,0 +1,56 @@
+"""Fig. 5 — C-CLASSIFY component study: REC / SPL / REC_c vs confidence c.
+
+Paper findings asserted per representative task: larger c raises REC at
+the expense of SPL; REC_c reaches 1 as c → 1; end-to-end REC stays below 1
+(interval errors remain uncorrected without C-REGRESS).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import REPRESENTATIVE_TASKS, fig5_cclassify, format_table
+
+CONFIDENCES = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0)
+
+
+@pytest.mark.parametrize("task_id", REPRESENTATIVE_TASKS)
+def test_fig5_panel(task_id, benchmark, get_experiment, save_result):
+    experiment = get_experiment(task_id)
+    rows = benchmark.pedantic(
+        fig5_cclassify,
+        args=(task_id,),
+        kwargs=dict(experiment=experiment, confidences=CONFIDENCES),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(f"fig5_{task_id.lower()}", format_table(rows))
+
+    rec_c = [r["REC_c"] for r in rows]
+    spl = [r["SPL"] for r in rows]
+    rec = [r["REC"] for r in rows]
+
+    # Monotone trade-off in c (non-strict: the conformal sets are nested).
+    assert all(b >= a - 1e-9 for a, b in zip(rec_c, rec_c[1:])), rec_c
+    assert all(b >= a - 1e-9 for a, b in zip(spl, spl[1:])), spl
+    assert all(b >= a - 1e-9 for a, b in zip(rec, rec[1:])), rec
+
+    # c → 1 drives existence recall to 1...
+    assert rec_c[-1] == pytest.approx(1.0)
+    # ...but end-to-end REC stays short of 1 without C-REGRESS.
+    assert rec[-1] < 0.999, f"{task_id}: REC should not reach 1 under EHC"
+
+
+@pytest.mark.parametrize("task_id", ("TA1", "TA10"))
+def test_fig5_recall_guarantee(task_id, benchmark, get_experiment, save_result):
+    """Theorem 4.2 empirically: REC_c ≥ c − finite-sample slack."""
+    experiment = get_experiment(task_id)
+    rows = benchmark.pedantic(
+        fig5_cclassify,
+        args=(task_id,),
+        kwargs=dict(experiment=experiment, confidences=(0.7, 0.8, 0.9)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(f"fig5_guarantee_{task_id.lower()}", format_table(rows))
+    for row in rows:
+        assert row["REC_c"] >= row["c"] - 0.15, row

@@ -1,0 +1,67 @@
+"""Fig. 7 — hyper-parameter sensitivity of EHCR on TA1.
+
+Left: SPL required to reach fixed REC levels vs collection window M
+(larger M helps with diminishing returns).  Right: the same vs horizon H
+(larger H makes high REC levels costlier; low REC levels are insensitive).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_settings
+from repro.harness import format_table, sweep_horizon, sweep_window_size
+
+REC_LEVELS = (0.6, 0.7, 0.8, 0.9)
+WINDOW_SIZES = (5, 10, 25, 50)
+HORIZONS = (100, 300, 500, 700)
+
+
+def test_fig7_window_size(benchmark, save_result):
+    rows = benchmark.pedantic(
+        sweep_window_size,
+        args=("TA1", WINDOW_SIZES, REC_LEVELS),
+        kwargs=dict(settings=bench_settings()),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig7_window_size", format_table(rows))
+    assert [r["M"] for r in rows] == [float(m) for m in WINDOW_SIZES]
+
+    # Paper shape: a healthy M (=25/50) is no worse than a tiny window at
+    # the high-recall level, and the high-REC level costs at least as much
+    # SPL as the low-REC level for every M.
+    for row in rows:
+        lo, hi = row["SPL@REC>=0.6"], row["SPL@REC>=0.9"]
+        if not (np.isnan(lo) or np.isnan(hi)):
+            assert hi >= lo - 1e-9, row
+    spl_small = rows[0]["SPL@REC>=0.9"]
+    spl_large = min(rows[-1]["SPL@REC>=0.9"], rows[-2]["SPL@REC>=0.9"])
+    if not (np.isnan(spl_small) or np.isnan(spl_large)):
+        assert spl_large <= spl_small + 0.05
+
+
+def test_fig7_horizon(benchmark, save_result):
+    rows = benchmark.pedantic(
+        sweep_horizon,
+        args=("TA1", HORIZONS, REC_LEVELS),
+        kwargs=dict(settings=bench_settings()),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig7_horizon", format_table(rows))
+    assert [r["H"] for r in rows] == [float(h) for h in HORIZONS]
+
+    # Higher REC targets require at least as much SPL at every H.
+    for row in rows:
+        levels = [row[f"SPL@REC>={lvl}"] for lvl in REC_LEVELS]
+        finite = [v for v in levels if not np.isnan(v)]
+        assert finite == sorted(finite), row
+
+    # Paper shape: the effect of H is stronger at REC>=0.9 than at 0.6 —
+    # the spread of SPL across H values is wider for the higher target.
+    def spread(level):
+        values = [r[f"SPL@REC>={level}"] for r in rows]
+        values = [v for v in values if not np.isnan(v)]
+        return (max(values) - min(values)) if len(values) >= 2 else 0.0
+
+    assert spread(0.9) >= spread(0.6) - 0.05

@@ -1,0 +1,41 @@
+"""Fig. 8 — monetary-cost case study on TA1 (Amazon Rekognition pricing).
+
+Paper claim: EHCR reaches ≈100% REC for well under a fifth of BF's
+expense, far cheaper than COX at the same recall.
+"""
+
+import pytest
+
+from repro.harness import fig8_cost, format_table
+
+
+def test_fig8(benchmark, get_experiment, save_result):
+    experiment = get_experiment("TA1")
+    rows = benchmark.pedantic(
+        fig8_cost,
+        args=("TA1",),
+        kwargs=dict(experiment=experiment),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig8_cost", format_table(rows))
+
+    opt = next(r for r in rows if r["algorithm"] == "OPT")
+    bf = next(r for r in rows if r["algorithm"] == "BF")
+    assert opt["expense"] < bf["expense"]
+
+    ehcr = [r for r in rows if r["algorithm"] == "EHCR"]
+    high_rec = [r for r in ehcr if r["REC"] >= 0.95]
+    assert high_rec, "EHCR must reach REC >= 0.95"
+    cheapest = min(r["expense"] for r in high_rec)
+    assert cheapest < bf["expense"] / 5.0, (
+        f"EHCR at REC>=0.95 costs {cheapest}, BF costs {bf['expense']}"
+    )
+
+    # Cheaper than COX at comparable recall, where COX reaches it.
+    cox = [r for r in rows if r["algorithm"] == "COX" and r["REC"] >= 0.9]
+    if cox:
+        assert cheapest <= min(r["expense"] for r in cox) + 1e-9
+
+    # All expenses bounded by the BF ceiling.
+    assert all(r["expense"] <= bf["expense"] + 1e-9 for r in rows)

@@ -1,0 +1,42 @@
+"""Fig. 9 — REC vs FPS for EHCR, COX and VQS on TA10 and TA11.
+
+Paper claim: EHCR dominates the REC–FPS trade-off; as REC relaxes, EHCR's
+FPS climbs well past COX's and VQS's.
+"""
+
+import pytest
+
+from repro.harness import fig9_fps, format_table
+
+
+def _best_fps_at_rec(rows, algorithm, rec_floor):
+    candidates = [
+        r["FPS"] for r in rows
+        if r["algorithm"] == algorithm and r["REC"] >= rec_floor
+    ]
+    return max(candidates) if candidates else 0.0
+
+
+@pytest.mark.parametrize("task_id", ("TA10", "TA11"))
+def test_fig9_panel(task_id, benchmark, get_experiment, save_result):
+    experiment = get_experiment(task_id)
+    rows = benchmark.pedantic(
+        fig9_fps,
+        args=(task_id,),
+        kwargs=dict(experiment=experiment),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(f"fig9_{task_id.lower()}", format_table(rows))
+
+    # EHCR dominates at both strict and relaxed recall floors.
+    for rec_floor in (0.9, 0.7):
+        ehcr = _best_fps_at_rec(rows, "EHCR", rec_floor)
+        cox = _best_fps_at_rec(rows, "COX", rec_floor)
+        vqs = _best_fps_at_rec(rows, "VQS", rec_floor)
+        assert ehcr > 0, f"{task_id}: EHCR unreachable at REC>={rec_floor}"
+        assert ehcr >= cox, f"{task_id}@{rec_floor}: EHCR {ehcr} vs COX {cox}"
+        assert ehcr >= vqs, f"{task_id}@{rec_floor}: EHCR {ehcr} vs VQS {vqs}"
+
+    # Triple-digit FPS at REC = 0.9 (the paper reports > 100 on TA11).
+    assert _best_fps_at_rec(rows, "EHCR", 0.9) > 100

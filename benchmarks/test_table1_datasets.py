@@ -1,0 +1,18 @@
+"""Table I — event statistics of the synthetic datasets vs the paper."""
+
+from repro.harness import format_table, table1_rows
+
+
+def test_table1(benchmark, save_result):
+    rows = benchmark.pedantic(
+        table1_rows, kwargs=dict(scale=1.0, seed=0), rounds=1, iterations=1
+    )
+    save_result("table1_datasets", format_table(rows))
+
+    assert len(rows) == 12
+    for row in rows:
+        # Occurrence counts are matched exactly by construction.
+        assert row["measured_occurrences"] == row["paper_occurrences"], row
+        # Duration means within 20% of Table I.
+        rel = abs(row["measured_duration_avg"] - row["paper_duration_avg"])
+        assert rel / row["paper_duration_avg"] < 0.2, row

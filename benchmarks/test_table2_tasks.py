@@ -1,0 +1,17 @@
+"""Table II — the sixteen prediction tasks."""
+
+from repro.harness import format_table, table2_rows
+
+
+def test_table2(benchmark, save_result):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    save_result("table2_tasks", format_table(rows))
+
+    assert len(rows) == 16
+    by_id = {r["task"]: r for r in rows}
+    assert by_id["TA1"]["events"] == "{E1}"
+    assert by_id["TA9"]["events"] == "{E1, E5, E6}"
+    assert by_id["TA16"]["events"] == "{E10, E12}"
+    assert sum(1 for r in rows if r["dataset"] == "virat") == 9
+    assert sum(1 for r in rows if r["dataset"] == "thumos") == 3
+    assert sum(1 for r in rows if r["dataset"] == "breakfast") == 4

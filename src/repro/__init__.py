@@ -1,0 +1,88 @@
+"""EventHit — marshalling model inference in video streams.
+
+An open-source reproduction of *"Marshalling Model Inference in Video
+Streams"* (Chao, Koudas, Yu — ICDE 2023).  The library predicts **if** and
+**when** events of interest occur in a video stream so only the relevant
+frame ranges are relayed to a pay-per-frame cloud inference service, and
+wraps those predictions in conformal layers (C-CLASSIFY / C-REGRESS) with
+tunable probabilistic recall/cost guarantees.
+
+Quickstart::
+
+    from repro import run_experiment, ExperimentSettings
+
+    experiment = run_experiment("TA10", ExperimentSettings(scale=0.06))
+    print(experiment.evaluate("EHCR", confidence=0.95, alpha=0.9).as_dict())
+
+Package map:
+
+==================  ====================================================
+``repro.nn``        numpy autograd + LSTM/MLP substrate
+``repro.video``     synthetic streams, events, Table I datasets
+``repro.features``  simulated detectors and covariate pipeline
+``repro.data``      §II record triplets and split builders
+``repro.core``      the EventHit network, trainer, Eq. 4–6 inference
+``repro.conformal`` C-CLASSIFY (§IV) and C-REGRESS (§V)
+``repro.baselines`` EHO/EHC/EHR/EHCR, OPT, BF, COX, VQS, APP-VAE
+``repro.cloud``     simulated CI: pricing, detection service, marshaller
+``repro.metrics``   REC/SPL/REC_c/REC_r, expense, FPS timing model
+``repro.harness``   tasks TA1–TA16, experiment runner, figure generators
+==================  ====================================================
+"""
+
+from .core import (
+    EventHit,
+    EventHitConfig,
+    EventHitOutput,
+    PredictionBatch,
+    Trainer,
+    TrainingHistory,
+    threshold_predictions,
+    train_eventhit,
+)
+from .conformal import ConformalClassifier, ConformalRegressor
+from .data import DatasetBuilder, ExperimentData, RecordSet, build_experiment_data
+from .harness import (
+    REPRESENTATIVE_TASKS,
+    TASKS,
+    Experiment,
+    ExperimentSettings,
+    Task,
+    get_task,
+    run_experiment,
+)
+from .metrics import evaluate
+from .video import make_breakfast, make_dataset, make_stream, make_thumos, make_virat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EventHit",
+    "EventHitConfig",
+    "EventHitOutput",
+    "PredictionBatch",
+    "Trainer",
+    "TrainingHistory",
+    "train_eventhit",
+    "threshold_predictions",
+    "ConformalClassifier",
+    "ConformalRegressor",
+    "RecordSet",
+    "DatasetBuilder",
+    "ExperimentData",
+    "build_experiment_data",
+    "Task",
+    "TASKS",
+    "REPRESENTATIVE_TASKS",
+    "get_task",
+    "Experiment",
+    "ExperimentSettings",
+    "run_experiment",
+    "evaluate",
+    "make_virat",
+    "make_thumos",
+    "make_breakfast",
+    "make_dataset",
+    "make_stream",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Common predictor interface for all §VI.B algorithms.
+
+Every algorithm consumes a :class:`~repro.data.records.RecordSet` and emits
+a :class:`~repro.core.inference.PredictionBatch`; tunable knobs (c, α,
+τ_cox, τ_vqs, ...) are keyword arguments of :meth:`predict` so the harness
+can sweep them to trace REC–SPL curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.inference import PredictionBatch
+from ..core.model import EventHit, EventHitOutput
+from ..data.records import RecordSet
+
+__all__ = ["Predictor", "OutputCache"]
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """An algorithm that predicts event existence + occurrence intervals."""
+
+    name: str
+
+    def predict(self, records: RecordSet, **knobs) -> PredictionBatch:
+        ...
+
+
+class OutputCache:
+    """Memoise EventHit forward passes per RecordSet.
+
+    Knob sweeps call ``predict`` dozens of times on the same records; the
+    network output does not depend on the knobs, so it is computed once.
+    The cache is keyed by object identity — RecordSets are treated as
+    immutable snapshots throughout the harness.
+    """
+
+    def __init__(self, model: EventHit):
+        self.model = model
+        self._store: Dict[int, EventHitOutput] = {}
+
+    def output_for(self, records: RecordSet) -> EventHitOutput:
+        key = id(records)
+        if key not in self._store:
+            self._store[key] = self.model.predict(records.covariates)
+        return self._store[key]
+
+    def clear(self) -> None:
+        self._store.clear()

@@ -1,0 +1,29 @@
+"""BF — brute force (§VI.B item 6): relay every frame of every horizon to
+the CI.  REC = 1, SPL = 1; the cost ceiling every other algorithm is
+measured against."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.inference import PredictionBatch
+from ..data.records import RecordSet
+
+__all__ = ["BruteForce"]
+
+
+class BruteForce:
+    """Relay the entire horizon for every event of every record."""
+
+    name = "BF"
+
+    def predict(self, records: RecordSet, **knobs) -> PredictionBatch:
+        if knobs:
+            raise TypeError(f"unexpected knobs {sorted(knobs)}")
+        shape = records.labels.shape
+        return PredictionBatch(
+            exists=np.ones(shape, dtype=bool),
+            starts=np.ones(shape, dtype=int),
+            ends=np.full(shape, records.horizon, dtype=int),
+            horizon=records.horizon,
+        )

@@ -1,0 +1,28 @@
+"""OPT — the theoretical optimum (§VI.B item 5): full knowledge of every
+true event interval; relays exactly the event frames.  REC = 1, SPL = 0."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.inference import PredictionBatch
+from ..data.records import RecordSet
+
+__all__ = ["Oracle"]
+
+
+class Oracle:
+    """Relay the true occurrence intervals and nothing else."""
+
+    name = "OPT"
+
+    def predict(self, records: RecordSet, **knobs) -> PredictionBatch:
+        if knobs:
+            raise TypeError(f"unexpected knobs {sorted(knobs)}")
+        exists = records.labels > 0
+        return PredictionBatch(
+            exists=exists,
+            starts=np.where(exists, records.starts, 0),
+            ends=np.where(exists, records.ends, 0),
+            horizon=records.horizon,
+        )

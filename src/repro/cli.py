@@ -1,0 +1,165 @@
+"""Command-line interface for the reproduction.
+
+Every table/figure generator and the single-experiment evaluator are
+reachable from the shell::
+
+    python -m repro.cli tasks                      # Table II
+    python -m repro.cli table1 --scale 0.2         # Table I stats
+    python -m repro.cli fig4 --task TA1            # one Fig. 4 panel
+    python -m repro.cli fig5 --task TA10           # C-CLASSIFY study
+    python -m repro.cli fig6 --task TA5            # C-REGRESS study
+    python -m repro.cli fig8 --task TA1            # cost case study
+    python -m repro.cli fig9 --task TA11           # REC vs FPS
+    python -m repro.cli fig10 --task TA10          # stage breakdown
+    python -m repro.cli evaluate --task TA10 --algorithm EHCR \
+        --confidence 0.95 --alpha 0.9
+
+All experiment-backed commands accept ``--scale/--epochs/--records/--seed``
+to size the synthetic workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .harness import (
+    ExperimentSettings,
+    fig10_stage_breakdown,
+    fig4_rec_spl,
+    fig5_cclassify,
+    fig6_cregress,
+    fig8_cost,
+    fig9_fps,
+    format_table,
+    run_experiment,
+    summarize_frontier,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser, default_task: str) -> None:
+    parser.add_argument("--task", default=default_task, help="task id (TA1..TA16)")
+    parser.add_argument("--scale", type=float, default=0.12,
+                        help="synthetic workload scale (1.0 = paper size)")
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--records", type=int, default=350,
+                        help="max records per split")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        scale=args.scale,
+        epochs=args.epochs,
+        max_records=args.records,
+        seed=args.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EventHit reproduction: regenerate the paper's tables "
+        "and figures or evaluate individual algorithms.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tasks", help="print Table II (tasks TA1-TA16)")
+
+    table1 = sub.add_parser("table1", help="print Table I dataset statistics")
+    table1.add_argument("--scale", type=float, default=1.0)
+    table1.add_argument("--seed", type=int, default=0)
+
+    for name, default_task, description in (
+        ("fig4", "TA1", "REC-SPL curves of all algorithms on one task"),
+        ("fig5", "TA10", "C-CLASSIFY study: REC/SPL/REC_c vs c"),
+        ("fig6", "TA10", "C-REGRESS study: REC/SPL/REC_r vs alpha"),
+        ("fig8", "TA1", "monetary cost case study"),
+        ("fig9", "TA10", "REC vs FPS for EHCR/COX/VQS"),
+        ("fig10", "TA10", "pipeline stage-time breakdown"),
+    ):
+        cmd = sub.add_parser(name, help=description)
+        _add_experiment_args(cmd, default_task)
+        if name == "fig10":
+            cmd.add_argument("--rec-target", type=float, default=0.9)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="evaluate one algorithm at one knob setting"
+    )
+    _add_experiment_args(evaluate, "TA10")
+    evaluate.add_argument(
+        "--algorithm",
+        default="EHCR",
+        choices=["EHO", "EHC", "EHR", "EHCR", "OPT", "BF", "COX", "VQS", "APP-VAE"],
+    )
+    evaluate.add_argument("--confidence", type=float, default=None,
+                          help="C-CLASSIFY confidence c (EHC/EHCR)")
+    evaluate.add_argument("--alpha", type=float, default=None,
+                          help="C-REGRESS coverage alpha (EHR/EHCR)")
+    evaluate.add_argument("--tau", type=float, default=None,
+                          help="threshold for COX/VQS")
+    return parser
+
+
+def _run_figure(args: argparse.Namespace, out) -> None:
+    settings = _settings(args)
+    experiment = run_experiment(args.task, settings=settings)
+    if args.command == "fig4":
+        rows = fig4_rec_spl(args.task, experiment=experiment)
+        print(format_table(rows), file=out)
+        print(file=out)
+        print(summarize_frontier(rows), file=out)
+    elif args.command == "fig5":
+        print(format_table(fig5_cclassify(args.task, experiment=experiment)), file=out)
+    elif args.command == "fig6":
+        print(format_table(fig6_cregress(args.task, experiment=experiment)), file=out)
+    elif args.command == "fig8":
+        print(format_table(fig8_cost(args.task, experiment=experiment)), file=out)
+    elif args.command == "fig9":
+        print(format_table(fig9_fps(args.task, experiment=experiment)), file=out)
+    elif args.command == "fig10":
+        props = fig10_stage_breakdown(
+            args.task, rec_target=args.rec_target, experiment=experiment
+        )
+        for key in sorted(props):
+            print(f"{key}: {props[key]:.4f}", file=out)
+
+
+def _run_evaluate(args: argparse.Namespace, out) -> None:
+    experiment = run_experiment(args.task, settings=_settings(args))
+    knobs = {}
+    if args.confidence is not None:
+        knobs["confidence"] = args.confidence
+    if args.alpha is not None:
+        knobs["alpha"] = args.alpha
+    if args.tau is not None:
+        knobs["tau"] = args.tau
+    summary = experiment.evaluate(args.algorithm, **knobs)
+    for key, value in summary.as_dict().items():
+        print(f"{key}: {value}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "tasks":
+        print(format_table(table2_rows()), file=out)
+    elif args.command == "table1":
+        print(format_table(table1_rows(scale=args.scale, seed=args.seed)), file=out)
+    elif args.command in {"fig4", "fig5", "fig6", "fig8", "fig9", "fig10"}:
+        _run_figure(args, out)
+    elif args.command == "evaluate":
+        _run_evaluate(args, out)
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

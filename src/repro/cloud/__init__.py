@@ -1,0 +1,18 @@
+"""Simulated cloud inference infrastructure (the CI of Fig. 1): pricing,
+the pay-per-frame detection service, and the runtime marshalling loop."""
+
+from .pricing import REKOGNITION, FlatPricing, PricingModel, TieredPricing
+from .service import CloudInferenceService, Detection, UsageLedger
+from .marshaller import MarshallingReport, StreamMarshaller
+
+__all__ = [
+    "PricingModel",
+    "FlatPricing",
+    "TieredPricing",
+    "REKOGNITION",
+    "CloudInferenceService",
+    "Detection",
+    "UsageLedger",
+    "MarshallingReport",
+    "StreamMarshaller",
+]

@@ -1,0 +1,151 @@
+"""C-REGRESS — conformal occurrence-interval prediction (paper §V, Alg. 2).
+
+For each event E_k, evaluate EventHit on the calibration records where the
+event occurs, compute the absolute residuals of the predicted start and end
+offsets against ground truth, and take their α-quantiles q̂ˢ_k and q̂ᵉ_k.
+At prediction time the estimated interval [T̂ˢ, T̂ᵉ] is widened to
+[max(1, T̂ˢ − q̂ˢ), min(H, T̂ᵉ + q̂ᵉ)].
+
+Theorem 5.2: under exchangeability the true start/end offsets fall inside
+±q̂ of the estimates with probability ≥ α, so larger α trades extra relayed
+frames (SPL) for recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.inference import PredictionBatch, extract_intervals
+from ..core.model import EventHit, EventHitOutput
+from ..data.records import RecordSet
+from .base import residual_quantile
+
+__all__ = ["ConformalRegressor"]
+
+
+@dataclass
+class _EventResiduals:
+    """Sorted start/end residuals of one event's calibration positives."""
+
+    start_residuals: np.ndarray
+    end_residuals: np.ndarray
+
+
+class ConformalRegressor:
+    """Per-event conformal interval widener calibrated on D_r-calib.
+
+    Parameters
+    ----------
+    model:
+        A trained EventHit.
+    tau2:
+        Threshold used to extract raw intervals from θ scores (Eq. 5);
+        the paper's EHR/EHCR variants keep τ2 = 0.5.
+    """
+
+    def __init__(self, model: EventHit, tau2: float = 0.5):
+        if not 0.0 <= tau2 <= 1.0:
+            raise ValueError("tau2 must be in [0, 1]")
+        self.model = model
+        self.tau2 = tau2
+        self._residuals: Optional[List[_EventResiduals]] = None
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._residuals is not None
+
+    # ------------------------------------------------------------------
+    def calibrate(self, calibration: RecordSet) -> "ConformalRegressor":
+        """Algorithm 2 lines 5–12: collect per-event start/end residuals."""
+        if calibration.num_events != self.model.num_events:
+            raise ValueError(
+                f"calibration has {calibration.num_events} events, model "
+                f"has {self.model.num_events}"
+            )
+        output = self.model.predict(calibration.covariates)
+        pred_starts, pred_ends = extract_intervals(output.frame_scores, self.tau2)
+        residuals: List[_EventResiduals] = []
+        for k in range(calibration.num_events):
+            positive = calibration.labels[:, k] > 0
+            if not positive.any():
+                raise ValueError(
+                    f"calibration set has no positive records for event "
+                    f"index {k}; cannot calibrate"
+                )
+            start_res = np.abs(
+                pred_starts[positive, k] - calibration.starts[positive, k]
+            )
+            end_res = np.abs(
+                pred_ends[positive, k] - calibration.ends[positive, k]
+            )
+            residuals.append(
+                _EventResiduals(
+                    start_residuals=np.sort(start_res.astype(float)),
+                    end_residuals=np.sort(end_res.astype(float)),
+                )
+            )
+        self._residuals = residuals
+        return self
+
+    # ------------------------------------------------------------------
+    def quantiles(self, alpha: float) -> np.ndarray:
+        """(K, 2) array of (q̂ˢ_k, q̂ᵉ_k) at coverage level α."""
+        if self._residuals is None:
+            raise RuntimeError("call calibrate() before predicting")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        out = np.zeros((len(self._residuals), 2))
+        for k, res in enumerate(self._residuals):
+            out[k, 0] = residual_quantile(res.start_residuals, alpha)
+            out[k, 1] = residual_quantile(res.end_residuals, alpha)
+        return out
+
+    def widen(self, predictions: PredictionBatch, alpha: float) -> PredictionBatch:
+        """Eq. 11: widen predicted intervals by the α-quantile residuals.
+
+        Start offsets move earlier (clamped at 1), end offsets later
+        (clamped at H); events predicted absent are untouched.
+        """
+        q = self.quantiles(alpha)
+        widened_starts = np.maximum(
+            1, predictions.starts - q[None, :, 0].astype(int)
+        )
+        widened_ends = np.minimum(
+            predictions.horizon, predictions.ends + q[None, :, 1].astype(int)
+        )
+        starts = np.where(predictions.exists, widened_starts, 0)
+        ends = np.where(predictions.exists, widened_ends, 0)
+        return predictions.with_intervals(starts, ends)
+
+    def predict(
+        self,
+        output: EventHitOutput,
+        exists: np.ndarray,
+        alpha: float,
+    ) -> PredictionBatch:
+        """Full C-REGRESS pass: extract raw intervals, then widen.
+
+        Parameters
+        ----------
+        output:
+            EventHit outputs for the batch.
+        exists:
+            (B, K) bool — the estimated existence set L̂ (from Eq. 4
+            thresholding or from C-CLASSIFY).
+        alpha:
+            Coverage level α.
+        """
+        exists = np.asarray(exists, dtype=bool)
+        if exists.shape != output.scores.shape:
+            raise ValueError("exists must be shaped (B, K) like the scores")
+        starts, ends = extract_intervals(output.frame_scores, self.tau2)
+        raw = PredictionBatch(
+            exists=exists,
+            starts=np.where(exists, starts, 0),
+            ends=np.where(exists, ends, 0),
+            horizon=output.horizon,
+        )
+        return self.widen(raw, alpha)

@@ -1,0 +1,37 @@
+"""EventHit core: the paper's primary contribution.
+
+* :class:`EventHit` — shared LSTM sub-network + K event-specific heads
+  (§III, Fig. 3).
+* :class:`Trainer` / :func:`train_eventhit` — end-to-end L1+L2 training.
+* :func:`threshold_predictions` — Eq. 4–6 inference (the EHO rule).
+"""
+
+from .config import EventHitConfig
+from .model import EventHit, EventHitOutput
+from .inference import (
+    PredictionBatch,
+    extract_interval_segments,
+    extract_intervals,
+    predict_existence,
+    segments_to_mask,
+    threshold_predictions,
+)
+from .trainer import Trainer, TrainingHistory, train_eventhit
+from .checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "EventHitConfig",
+    "EventHit",
+    "EventHitOutput",
+    "PredictionBatch",
+    "predict_existence",
+    "extract_intervals",
+    "extract_interval_segments",
+    "segments_to_mask",
+    "threshold_predictions",
+    "Trainer",
+    "TrainingHistory",
+    "train_eventhit",
+    "save_checkpoint",
+    "load_checkpoint",
+]

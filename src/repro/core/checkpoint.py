@@ -1,0 +1,73 @@
+"""Whole-model checkpointing for EventHit.
+
+:mod:`repro.nn.serialization` persists parameter tensors; a deployable
+checkpoint also needs the architecture (config, feature/event counts,
+encoder kind) so the model can be rebuilt without the training script.
+Checkpoints are a single ``.npz`` holding the parameters plus a JSON
+metadata entry — no pickle, safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Union
+
+import numpy as np
+
+from .config import EventHitConfig
+from .model import EventHit
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+PathLike = Union[str, os.PathLike]
+
+_META_KEY = "__eventhit_meta__"
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: EventHit, path: PathLike) -> None:
+    """Write architecture + parameters to ``path`` (``.npz``)."""
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "num_features": model.num_features,
+        "num_events": model.num_events,
+        "encoder": model.encoder_kind,
+        "config": asdict(model.config),
+    }
+    payload = {name: value for name, value in model.state_dict().items()}
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: PathLike) -> EventHit:
+    """Rebuild an EventHit from a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(f"{path!r} is not an EventHit checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {meta.get('format_version')!r}"
+            )
+        config_dict = meta["config"]
+        # Tuples become lists through JSON; restore the tuple-typed fields.
+        for key in ("shared_hidden", "head_hidden", "betas", "gammas"):
+            if config_dict.get(key) is not None:
+                config_dict[key] = tuple(config_dict[key])
+        config = EventHitConfig(**config_dict)
+        model = EventHit(
+            num_features=int(meta["num_features"]),
+            num_events=int(meta["num_events"]),
+            config=config,
+            encoder=meta["encoder"],
+        )
+        state = {
+            name: archive[name] for name in archive.files if name != _META_KEY
+        }
+        model.load_state_dict(state)
+    model.eval()
+    return model

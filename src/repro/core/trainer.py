@@ -1,0 +1,184 @@
+"""End-to-end training of EventHit (paper §III: minimise L_total = L1 + L2)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.records import RecordSet
+from ..nn import Adam, clip_grad_norm, no_grad, total_loss
+from .config import EventHitConfig
+from .model import EventHit
+
+__all__ = ["TrainingHistory", "Trainer", "train_eventhit"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss trace of one training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+    epochs_run: int = 0
+    seconds: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+
+class Trainer:
+    """Mini-batch Adam training loop with gradient clipping.
+
+    Parameters
+    ----------
+    model:
+        The EventHit instance to optimise.
+    patience:
+        Early-stopping patience on validation loss (None disables).
+    scheduler_factory:
+        Optional callable ``optimizer -> Scheduler`` (e.g.
+        ``lambda opt: nn.chain(opt, warmup_epochs=3, total_epochs=30)``);
+        the scheduler steps once per epoch.
+    """
+
+    def __init__(
+        self,
+        model: EventHit,
+        patience: Optional[int] = None,
+        scheduler_factory=None,
+    ):
+        self.model = model
+        self.config = model.config
+        if patience is not None and patience <= 0:
+            raise ValueError("patience must be positive")
+        self.patience = patience
+        self.scheduler_factory = scheduler_factory
+
+    def _batch_loss(self, batch: RecordSet):
+        scores, frame_scores = self.model(batch.covariates)
+        return total_loss(
+            scores,
+            frame_scores,
+            batch.labels,
+            batch.frame_targets(),
+            betas=self.config.betas,
+            gammas=self.config.gammas,
+        )
+
+    def evaluate_loss(self, records: RecordSet, batch_size: int = 512) -> float:
+        """Mean L_total over ``records`` without touching gradients."""
+        was_training = self.model.training
+        self.model.eval()
+        total, count = 0.0, 0
+        try:
+            with no_grad():
+                for batch in records.batches(batch_size):
+                    total += self._batch_loss(batch).item() * len(batch)
+                    count += len(batch)
+        finally:
+            self.model.train(was_training)
+        return total / max(count, 1)
+
+    def fit(
+        self,
+        train: RecordSet,
+        validation: Optional[RecordSet] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``config.epochs`` epochs (early-stopping optional)."""
+        if train.num_events != self.model.num_events:
+            raise ValueError(
+                f"records have {train.num_events} events, model has "
+                f"{self.model.num_events}"
+            )
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        optimizer = Adam(self.model.parameters(), lr=cfg.learning_rate)
+        scheduler = (
+            self.scheduler_factory(optimizer)
+            if self.scheduler_factory is not None
+            else None
+        )
+        history = TrainingHistory()
+        best_val = float("inf")
+        bad_epochs = 0
+        start = time.perf_counter()
+
+        self.model.train()
+        for epoch in range(cfg.epochs):
+            epoch_loss, seen = 0.0, 0
+            for batch in train.batches(cfg.batch_size, rng=rng):
+                optimizer.zero_grad()
+                loss = self._batch_loss(batch)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item() * len(batch)
+                seen += len(batch)
+            history.train_losses.append(epoch_loss / max(seen, 1))
+            history.epochs_run = epoch + 1
+            if scheduler is not None:
+                history.learning_rates.append(scheduler.step())
+
+            if validation is not None:
+                val_loss = self.evaluate_loss(validation)
+                history.val_losses.append(val_loss)
+                if self.patience is not None:
+                    if val_loss < best_val - 1e-6:
+                        best_val = val_loss
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
+                        if bad_epochs >= self.patience:
+                            history.stopped_early = True
+                            break
+            if verbose:
+                tail = (
+                    f" val={history.val_losses[-1]:.4f}"
+                    if history.val_losses
+                    else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{cfg.epochs} "
+                    f"train={history.train_losses[-1]:.4f}{tail}"
+                )
+
+        history.seconds = time.perf_counter() - start
+        self.model.eval()
+        return history
+
+
+def train_eventhit(
+    train: RecordSet,
+    config: Optional[EventHitConfig] = None,
+    validation: Optional[RecordSet] = None,
+    encoder: str = "lstm",
+    patience: Optional[int] = None,
+    verbose: bool = False,
+):
+    """Convenience: build an EventHit matching ``train`` and fit it.
+
+    Returns ``(model, history)``.
+    """
+    config = config or EventHitConfig(
+        window_size=train.window_size, horizon=train.horizon
+    )
+    if config.horizon != train.horizon:
+        raise ValueError(
+            f"config horizon {config.horizon} != records horizon {train.horizon}"
+        )
+    model = EventHit(
+        num_features=train.num_channels,
+        num_events=train.num_events,
+        config=config,
+        encoder=encoder,
+    )
+    trainer = Trainer(model, patience=patience)
+    history = trainer.fit(train, validation=validation, verbose=verbose)
+    return model, history

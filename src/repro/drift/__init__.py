@@ -1,0 +1,20 @@
+"""Drift detection and online adaptation — the paper's §VIII future work.
+
+* :class:`PValueDriftDetector` — KS test on positives' conformal p-values.
+* :class:`MissRateCusum` — CUSUM chart on audited miss indicators against
+  the 1 − c guarantee budget.
+* :class:`AdaptiveMarshaller` — the Fig. 1 loop with audit sampling,
+  drift signals, and online recalibration of the conformal layers.
+"""
+
+from .detector import DriftVerdict, MissRateCusum, PValueDriftDetector
+from .adapter import AdaptiveMarshaller, AdaptiveReport, AuditBuffer
+
+__all__ = [
+    "DriftVerdict",
+    "PValueDriftDetector",
+    "MissRateCusum",
+    "AdaptiveMarshaller",
+    "AdaptiveReport",
+    "AuditBuffer",
+]

@@ -1,0 +1,28 @@
+"""Feature extraction substrate: simulated detectors, covariate channels,
+collection-window assembly, and correlation-based feature selection."""
+
+from .detectors import DETECTOR_PROFILES, DetectorProfile, SimulatedObjectDetector
+from .extractors import FeatureExtractor, FeatureMatrix, extract_features
+from .pipeline import CovariatePipeline, Standardizer
+from .selection import FeatureSelection, correlation_scores, select_features
+from .autoencoder import Autoencoder, AutoencoderReducer
+from .track_features import TrackFeatureExtractor
+from .streaming import StreamingCovariateBuffer
+
+__all__ = [
+    "Autoencoder",
+    "AutoencoderReducer",
+    "TrackFeatureExtractor",
+    "StreamingCovariateBuffer",
+    "DetectorProfile",
+    "DETECTOR_PROFILES",
+    "SimulatedObjectDetector",
+    "FeatureExtractor",
+    "FeatureMatrix",
+    "extract_features",
+    "CovariatePipeline",
+    "Standardizer",
+    "FeatureSelection",
+    "correlation_scores",
+    "select_features",
+]

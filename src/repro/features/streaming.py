@@ -1,0 +1,102 @@
+"""Streaming covariate assembly for live deployments.
+
+The batch :class:`~repro.features.pipeline.CovariatePipeline` slices
+windows out of a fully materialised feature matrix; a live camera delivers
+one feature vector per frame.  :class:`StreamingCovariateBuffer` is the
+online equivalent: push per-frame vectors as they arrive, and read the
+current (M, D) collection window in O(M) without re-copying history — a
+ring buffer with the same standardisation hook as the batch pipeline.
+
+Equivalence with the batch pipeline is tested property-style in
+``tests/features/test_streaming.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .pipeline import Standardizer
+
+__all__ = ["StreamingCovariateBuffer"]
+
+
+class StreamingCovariateBuffer:
+    """Ring buffer of per-frame feature vectors.
+
+    Parameters
+    ----------
+    window_size:
+        Collection window length M.
+    num_channels:
+        Feature dimensionality D.
+    standardizer:
+        Optional fitted standardizer applied to each pushed vector (fit on
+        training data, as in the batch pipeline).
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        num_channels: int,
+        standardizer: Optional[Standardizer] = None,
+    ):
+        if window_size <= 0 or num_channels <= 0:
+            raise ValueError("window_size and num_channels must be positive")
+        self.window_size = window_size
+        self.num_channels = num_channels
+        self.standardizer = standardizer
+        self._ring = np.zeros((window_size, num_channels))
+        self._cursor = 0  # next write position
+        self._count = 0  # total frames pushed
+
+    # ------------------------------------------------------------------
+    @property
+    def frames_seen(self) -> int:
+        return self._count
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether a full collection window is available."""
+        return self._count >= self.window_size
+
+    def push(self, vector: np.ndarray) -> None:
+        """Append one frame's feature vector."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.num_channels,):
+            raise ValueError(
+                f"expected a ({self.num_channels},) vector, got {vector.shape}"
+            )
+        if self.standardizer is not None:
+            vector = self.standardizer.transform(vector[None, :])[0]
+        self._ring[self._cursor] = vector
+        self._cursor = (self._cursor + 1) % self.window_size
+        self._count += 1
+
+    def push_many(self, vectors: np.ndarray) -> None:
+        """Append several frames (rows) at once."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected (n, {self.num_channels}) rows, got {vectors.shape}"
+            )
+        for row in vectors:
+            self.push(row)
+
+    def window(self) -> np.ndarray:
+        """The current (M, D) collection window, oldest frame first.
+
+        Raises until :attr:`is_ready` — the paper's covariates are only
+        defined once M frames have been observed.
+        """
+        if not self.is_ready:
+            raise ValueError(
+                f"only {self._count} of {self.window_size} frames buffered"
+            )
+        return np.roll(self._ring, -self._cursor, axis=0).copy()
+
+    def reset(self) -> None:
+        self._ring[:] = 0.0
+        self._cursor = 0
+        self._count = 0

@@ -1,0 +1,62 @@
+"""Experiment harness: Table II tasks, the train→calibrate→evaluate runner,
+knob/hyper-parameter sweeps, per-figure generators, and text reporting."""
+
+from .tasks import REPRESENTATIVE_TASKS, TASKS, Task, get_task
+from .experiments import CurvePoint, Experiment, ExperimentSettings, run_experiment
+from .sweeps import (
+    DEFAULT_ALPHAS,
+    DEFAULT_CONFIDENCES,
+    grid_search_loss_weights,
+    min_spl_at_rec,
+    pareto_frontier,
+    sweep_horizon,
+    sweep_window_size,
+)
+from .figures import (
+    algorithm_timing,
+    fig10_stage_breakdown,
+    fig4_rec_spl,
+    fig5_cclassify,
+    fig6_cregress,
+    fig8_cost,
+    fig9_fps,
+    table1_rows,
+    table2_rows,
+)
+from .reporting import format_curve, format_table, format_value, summarize_frontier
+from .trials import AggregateResult, TrialResult, aggregate_rows, run_trials
+
+__all__ = [
+    "Task",
+    "TASKS",
+    "REPRESENTATIVE_TASKS",
+    "get_task",
+    "Experiment",
+    "ExperimentSettings",
+    "CurvePoint",
+    "run_experiment",
+    "min_spl_at_rec",
+    "pareto_frontier",
+    "sweep_window_size",
+    "sweep_horizon",
+    "grid_search_loss_weights",
+    "DEFAULT_CONFIDENCES",
+    "DEFAULT_ALPHAS",
+    "table1_rows",
+    "table2_rows",
+    "fig4_rec_spl",
+    "fig5_cclassify",
+    "fig6_cregress",
+    "fig8_cost",
+    "fig9_fps",
+    "fig10_stage_breakdown",
+    "algorithm_timing",
+    "format_table",
+    "format_curve",
+    "format_value",
+    "summarize_frontier",
+    "TrialResult",
+    "AggregateResult",
+    "run_trials",
+    "aggregate_rows",
+]

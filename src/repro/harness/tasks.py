@@ -1,0 +1,86 @@
+"""Prediction tasks TA1–TA16 (paper Table II).
+
+Each task names a dataset and the subset of its event types whose
+occurrences must be predicted jointly.  §VI.D's representative tasks for
+the component studies (Figs. 5 & 6) are TA1, TA5, TA7 and TA10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..video.datasets import DatasetSpec, GROUP1_EVENTS, make_dataset
+
+__all__ = ["Task", "TASKS", "REPRESENTATIVE_TASKS", "get_task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One Table II prediction task."""
+
+    task_id: str
+    dataset: str
+    event_ids: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.event_ids:
+            raise ValueError("a task needs at least one event")
+
+    @property
+    def num_events(self) -> int:
+        return len(self.event_ids)
+
+    @property
+    def is_multi_event(self) -> bool:
+        return len(self.event_ids) > 1
+
+    @property
+    def group(self) -> int:
+        """1 if all events are Group 1, 2 otherwise (paper §VI.D split)."""
+        return 1 if all(e in GROUP1_EVENTS for e in self.event_ids) else 2
+
+    def spec(self, scale: float = 1.0) -> DatasetSpec:
+        """The dataset spec restricted to this task's events."""
+        return make_dataset(self.dataset, scale=scale).with_events(
+            list(self.event_ids)
+        )
+
+
+_TASK_TABLE: List[Tuple[str, str, Tuple[str, ...]]] = [
+    ("TA1", "virat", ("E1",)),
+    ("TA2", "virat", ("E2",)),
+    ("TA3", "virat", ("E3",)),
+    ("TA4", "virat", ("E4",)),
+    ("TA5", "virat", ("E5",)),
+    ("TA6", "virat", ("E6",)),
+    ("TA7", "virat", ("E1", "E5")),
+    ("TA8", "virat", ("E5", "E6")),
+    ("TA9", "virat", ("E1", "E5", "E6")),
+    ("TA10", "thumos", ("E7",)),
+    ("TA11", "thumos", ("E8",)),
+    ("TA12", "thumos", ("E9",)),
+    ("TA13", "breakfast", ("E10",)),
+    ("TA14", "breakfast", ("E11",)),
+    ("TA15", "breakfast", ("E11", "E12")),
+    ("TA16", "breakfast", ("E10", "E12")),
+]
+
+#: All sixteen tasks of Table II, keyed by id.
+TASKS: Dict[str, Task] = {
+    task_id: Task(task_id, dataset, events)
+    for task_id, dataset, events in _TASK_TABLE
+}
+
+#: The four representative tasks of Figs. 5 & 6.
+REPRESENTATIVE_TASKS: Tuple[str, ...] = ("TA1", "TA5", "TA7", "TA10")
+
+
+def get_task(task_id: str) -> Task:
+    """Look up a task by id ("TA1".."TA16")."""
+    try:
+        return TASKS[task_id.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown task {task_id!r}; expected one of {sorted(TASKS)}"
+        ) from None

@@ -1,0 +1,46 @@
+"""Evaluation measures of §VI.C: accuracy (REC/SPL/REC_c/REC_r), monetary
+cost, and the analytic FPS/stage-time model."""
+
+from .accuracy import (
+    EvaluationSummary,
+    eta_matrix,
+    evaluate,
+    existence_precision,
+    existence_recall,
+    interval_recall,
+    recall,
+    recall_from_masks,
+    spillage,
+    spillage_from_masks,
+)
+from .cost import (
+    REKOGNITION_PRICE_PER_FRAME,
+    brute_force_expense,
+    expense,
+    optimal_expense,
+)
+from .timing import PipelineTiming, StageBreakdown, TimingModel
+from .per_event import interval_iou_matrix, mean_interval_iou, per_event_summaries
+
+__all__ = [
+    "eta_matrix",
+    "recall",
+    "spillage",
+    "existence_recall",
+    "existence_precision",
+    "interval_recall",
+    "evaluate",
+    "EvaluationSummary",
+    "recall_from_masks",
+    "spillage_from_masks",
+    "REKOGNITION_PRICE_PER_FRAME",
+    "expense",
+    "optimal_expense",
+    "brute_force_expense",
+    "TimingModel",
+    "StageBreakdown",
+    "PipelineTiming",
+    "per_event_summaries",
+    "interval_iou_matrix",
+    "mean_interval_iou",
+]

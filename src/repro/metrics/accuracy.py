@@ -1,0 +1,229 @@
+"""End-to-end and per-component accuracy measures (paper §VI.C).
+
+* η_n^k — frame-level recall of one prediction against the true occurrence
+  interval;
+* REC (Eq. 12) — mean η over all (record, event) pairs with the event
+  present;
+* SPL (Eq. 13) — spillage: the frame-level false-positive rate, i.e. the
+  fraction of non-event frames relayed to the CI;
+* REC_c — recall of the existence-prediction stage;
+* REC_r — mean η over the records where the event was correctly predicted
+  present (the occurrence-interval stage);
+* PREC_c — existence precision (reported alongside for completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..core.inference import PredictionBatch
+from ..data.records import RecordSet
+
+__all__ = [
+    "eta_matrix",
+    "recall",
+    "spillage",
+    "existence_recall",
+    "existence_precision",
+    "interval_recall",
+    "EvaluationSummary",
+    "evaluate",
+    "recall_from_masks",
+    "spillage_from_masks",
+]
+
+
+def _check(predictions: PredictionBatch, records: RecordSet) -> None:
+    if predictions.exists.shape != records.labels.shape:
+        raise ValueError(
+            f"predictions (B,K)={predictions.exists.shape} does not match "
+            f"records (B,K)={records.labels.shape}"
+        )
+    if predictions.horizon != records.horizon:
+        raise ValueError(
+            f"prediction horizon {predictions.horizon} != records horizon "
+            f"{records.horizon}"
+        )
+
+
+def _overlap(
+    pred_start: np.ndarray,
+    pred_end: np.ndarray,
+    true_start: np.ndarray,
+    true_end: np.ndarray,
+) -> np.ndarray:
+    """Inclusive intersection length of two offset ranges (elementwise)."""
+    lo = np.maximum(pred_start, true_start)
+    hi = np.minimum(pred_end, true_end)
+    return np.maximum(0, hi - lo + 1)
+
+
+def eta_matrix(predictions: PredictionBatch, records: RecordSet) -> np.ndarray:
+    """(B, K) matrix of η_n^k — zero where the event is absent or the
+    prediction says absent."""
+    _check(predictions, records)
+    present = records.labels > 0
+    relayed = predictions.exists & present
+    inter = _overlap(
+        predictions.starts, predictions.ends, records.starts, records.ends
+    )
+    true_len = np.where(present, records.ends - records.starts + 1, 1)
+    eta = np.where(relayed, inter / true_len, 0.0)
+    return eta
+
+
+def recall(predictions: PredictionBatch, records: RecordSet) -> float:
+    """REC (Eq. 12): mean η over (record, event) pairs with the event present."""
+    _check(predictions, records)
+    present = records.labels > 0
+    denominator = present.sum()
+    if denominator == 0:
+        return float("nan")
+    return float(eta_matrix(predictions, records)[present].sum() / denominator)
+
+
+def spillage(predictions: PredictionBatch, records: RecordSet) -> float:
+    """SPL (Eq. 13): fraction of non-event frames relayed to the CI.
+
+    True-positive-existence records contribute |pred \\ true| / (H − |true|);
+    false-positive-existence records contribute |pred| / H.  Records whose
+    true interval covers the whole horizon have no non-event frames and
+    contribute zero.
+    """
+    _check(predictions, records)
+    horizon = records.horizon
+    present = records.labels > 0
+    predicted = predictions.exists
+
+    pred_len = np.where(predicted, predictions.ends - predictions.starts + 1, 0)
+    true_len = np.where(present, records.ends - records.starts + 1, 0)
+    inter = np.where(
+        predicted & present,
+        _overlap(predictions.starts, predictions.ends, records.starts, records.ends),
+        0,
+    )
+
+    both = predicted & present
+    non_event = horizon - true_len
+    tp_term = np.zeros(pred_len.shape, dtype=float)
+    valid = both & (non_event > 0)
+    tp_term[valid] = (pred_len[valid] - inter[valid]) / non_event[valid]
+
+    fp_only = predicted & ~present
+    fp_term = np.zeros(pred_len.shape, dtype=float)
+    fp_term[fp_only] = pred_len[fp_only] / horizon
+
+    total = tp_term + fp_term
+    return float(total.sum() / total.size)
+
+
+def existence_recall(predictions: PredictionBatch, records: RecordSet) -> float:
+    """REC_c: fraction of present events that were predicted present."""
+    _check(predictions, records)
+    present = records.labels > 0
+    denominator = present.sum()
+    if denominator == 0:
+        return float("nan")
+    return float((predictions.exists & present).sum() / denominator)
+
+
+def existence_precision(predictions: PredictionBatch, records: RecordSet) -> float:
+    """Fraction of predicted-present events that are actually present."""
+    _check(predictions, records)
+    predicted = predictions.exists
+    denominator = predicted.sum()
+    if denominator == 0:
+        return float("nan")
+    return float((predicted & (records.labels > 0)).sum() / denominator)
+
+
+def interval_recall(predictions: PredictionBatch, records: RecordSet) -> float:
+    """REC_r: mean η over records where the event is present *and*
+    predicted present (the interval-stage recall)."""
+    _check(predictions, records)
+    relayed = predictions.exists & (records.labels > 0)
+    denominator = relayed.sum()
+    if denominator == 0:
+        return float("nan")
+    return float(eta_matrix(predictions, records)[relayed].sum() / denominator)
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """All §VI.C accuracy measures of one prediction batch."""
+
+    rec: float
+    spl: float
+    rec_c: float
+    rec_r: float
+    prec_c: float
+    frames_relayed: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "REC": self.rec,
+            "SPL": self.spl,
+            "REC_c": self.rec_c,
+            "REC_r": self.rec_r,
+            "PREC_c": self.prec_c,
+            "frames_relayed": self.frames_relayed,
+        }
+
+
+def evaluate(predictions: PredictionBatch, records: RecordSet) -> EvaluationSummary:
+    """Compute every accuracy measure in one pass."""
+    return EvaluationSummary(
+        rec=recall(predictions, records),
+        spl=spillage(predictions, records),
+        rec_c=existence_recall(predictions, records),
+        rec_r=interval_recall(predictions, records),
+        prec_c=existence_precision(predictions, records),
+        frames_relayed=int(predictions.predicted_frames().sum()),
+    )
+
+
+def _check_masks(relay_mask: np.ndarray, truth_mask: np.ndarray) -> None:
+    relay_mask = np.asarray(relay_mask)
+    truth_mask = np.asarray(truth_mask)
+    if relay_mask.shape != truth_mask.shape or relay_mask.ndim != 3:
+        raise ValueError(
+            "relay and truth masks must share a (B, K, H) shape; got "
+            f"{relay_mask.shape} and {truth_mask.shape}"
+        )
+
+
+def recall_from_masks(relay_mask: np.ndarray, truth_mask: np.ndarray) -> float:
+    """Frame-level recall for arbitrary relay masks.
+
+    Generalises REC to the multi-instance setting (paper footnote 1):
+    with several occurrence intervals per horizon the prediction is a set
+    of segments, naturally represented as a boolean (B, K, H) mask, and
+    recall is the fraction of true event frames covered by the mask.
+    """
+    relay_mask = np.asarray(relay_mask, dtype=bool)
+    truth_mask = np.asarray(truth_mask, dtype=bool)
+    _check_masks(relay_mask, truth_mask)
+    truth_total = truth_mask.sum()
+    if truth_total == 0:
+        return float("nan")
+    return float((relay_mask & truth_mask).sum() / truth_total)
+
+
+def spillage_from_masks(relay_mask: np.ndarray, truth_mask: np.ndarray) -> float:
+    """Frame-level false-positive rate for arbitrary relay masks.
+
+    The mask counterpart of SPL: of all non-event frames, the fraction
+    relayed.  Unlike Eq. 13 it needs no per-record case split, which is
+    exactly why the multi-instance extension reports it.
+    """
+    relay_mask = np.asarray(relay_mask, dtype=bool)
+    truth_mask = np.asarray(truth_mask, dtype=bool)
+    _check_masks(relay_mask, truth_mask)
+    non_event = ~truth_mask
+    denominator = non_event.sum()
+    if denominator == 0:
+        return float("nan")
+    return float((relay_mask & non_event).sum() / denominator)

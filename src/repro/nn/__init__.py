@@ -1,0 +1,75 @@
+"""Minimal deep-learning substrate (numpy autograd) for the reproduction.
+
+The paper's EventHit model is a small LSTM encoder plus per-event MLP heads
+trained end-to-end; this package provides everything needed to train it
+without an external DL framework:
+
+* :mod:`repro.nn.tensor` — reverse-mode autograd ``Tensor``.
+* :mod:`repro.nn.layers` — ``Module``, ``Linear``, ``Dropout``, activations,
+  ``Sequential``/``MLP`` containers.
+* :mod:`repro.nn.lstm` — ``LSTMCell`` / ``LSTM`` encoder.
+* :mod:`repro.nn.optim` — ``SGD`` / ``Adam`` and gradient clipping.
+* :mod:`repro.nn.losses` — the paper's L1 (existence) and L2 (interval)
+  cross-entropy losses.
+* :mod:`repro.nn.serialization` — ``.npz`` checkpoints.
+"""
+
+from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from .layers import (
+    MLP,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .lstm import LSTM, LSTMCell
+from .gru import GRU, GRUCell
+from .optim import Adam, Optimizer, SGD, clip_grad_norm
+from .schedulers import CosineDecay, LinearWarmup, Scheduler, StepDecay, chain
+from .losses import existence_loss, interval_loss, interval_weights, total_loss
+from .serialization import load_module, load_state, save_module, save_state
+from . import functional
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Dropout",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "Sequential",
+    "MLP",
+    "LSTM",
+    "LSTMCell",
+    "GRU",
+    "GRUCell",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "Scheduler",
+    "StepDecay",
+    "CosineDecay",
+    "LinearWarmup",
+    "chain",
+    "existence_loss",
+    "interval_loss",
+    "interval_weights",
+    "total_loss",
+    "save_module",
+    "load_module",
+    "save_state",
+    "load_state",
+    "functional",
+]

@@ -1,0 +1,37 @@
+"""Weight initialisation schemes for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "orthogonal", "zeros", "uniform"]
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a (fan_in, fan_out) matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation for a (fan_in, fan_out) matrix."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def orthogonal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation — the usual choice for recurrent weights."""
+    raw = rng.normal(size=(max(fan_in, fan_out), min(fan_in, fan_out)))
+    q, _ = np.linalg.qr(raw)
+    q = q[:fan_in, :fan_out] if q.shape[0] >= fan_in else q.T[:fan_in, :fan_out]
+    return np.ascontiguousarray(q)
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform(low: float, high: float, shape, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)

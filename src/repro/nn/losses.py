@@ -1,0 +1,159 @@
+"""Loss functions for EventHit training (paper §III).
+
+The paper trains EventHit end-to-end on the sum of two losses:
+
+* **L1** — average cross-entropy between the per-event existence score
+  ``b_k`` and the binary ground truth *"does event k occur in the time
+  horizon"*, weighted per event by β_k.
+* **L2** — average cross-entropy between the per-frame occurrence scores
+  ``θ_{k,v}`` and the indicator *"does event k occur at offset v"*, computed
+  only for records where the event occurs, with in-interval terms normalised
+  by the interval length and out-of-interval terms by the complement length,
+  weighted per event by γ_k.
+
+Both are expressed here as batched tensor computations so a single backward
+pass trains all event heads and the shared encoder jointly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .functional import log_safe
+from .tensor import Tensor
+
+__all__ = ["existence_loss", "interval_loss", "total_loss", "interval_weights"]
+
+
+def existence_loss(
+    scores: Tensor,
+    labels: np.ndarray,
+    betas: Optional[Sequence[float]] = None,
+) -> Tensor:
+    """Paper loss L1.
+
+    Parameters
+    ----------
+    scores:
+        Tensor of shape (batch, K) with occurrence scores ``b_k`` in [0, 1].
+    labels:
+        Array (batch, K) of {0,1}: whether event k occurs in the horizon.
+    betas:
+        Per-event classification-loss weights β_k; defaults to ones.
+
+    Returns
+    -------
+    Scalar tensor: ``-1/|P| Σ_n Σ_k β_k CE(b_k, 1[E_k ∈ L_n])``.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError(
+            f"labels shape {labels.shape} != scores shape {scores.shape}"
+        )
+    batch, num_events = labels.shape
+    beta = _event_weights(betas, num_events)
+    pos = Tensor(labels)
+    neg = Tensor(1.0 - labels)
+    per_element = -(pos * log_safe(scores) + neg * log_safe(1.0 - scores))
+    weighted = per_element * Tensor(beta.reshape(1, -1))
+    return weighted.sum() * (1.0 / batch)
+
+
+def interval_weights(
+    labels: np.ndarray, frame_targets: np.ndarray
+) -> np.ndarray:
+    """Per-frame normalisation weights for loss L2.
+
+    For a record n and event k with the event present, frames inside the
+    occurrence interval get weight ``1 / |interval|`` and frames outside get
+    ``1 / (H - |interval|)``.  Records without the event get all-zero weight
+    (L2 is gated by 1[E_k ∈ L_n]).  Degenerate cases (interval covering the
+    whole horizon) zero the outside term rather than dividing by zero.
+
+    Parameters
+    ----------
+    labels:
+        (batch, K) existence indicators.
+    frame_targets:
+        (batch, K, H) indicators of event occupancy per horizon offset.
+
+    Returns
+    -------
+    (batch, K, H) weights.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    frame_targets = np.asarray(frame_targets, dtype=np.float64)
+    if frame_targets.ndim != 3:
+        raise ValueError("frame_targets must be (batch, K, H)")
+    if labels.shape != frame_targets.shape[:2]:
+        raise ValueError("labels and frame_targets disagree on (batch, K)")
+    horizon = frame_targets.shape[2]
+    inside_len = frame_targets.sum(axis=2, keepdims=True)
+    outside_len = horizon - inside_len
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inside_w = np.where(inside_len > 0, 1.0 / np.maximum(inside_len, 1), 0.0)
+        outside_w = np.where(outside_len > 0, 1.0 / np.maximum(outside_len, 1), 0.0)
+    weights = frame_targets * inside_w + (1.0 - frame_targets) * outside_w
+    return weights * labels[:, :, None]
+
+
+def interval_loss(
+    frame_scores: Tensor,
+    labels: np.ndarray,
+    frame_targets: np.ndarray,
+    gammas: Optional[Sequence[float]] = None,
+) -> Tensor:
+    """Paper loss L2.
+
+    Parameters
+    ----------
+    frame_scores:
+        Tensor (batch, K, H) of per-frame occurrence scores θ_{k,v}.
+    labels:
+        (batch, K) existence indicators (gates the loss).
+    frame_targets:
+        (batch, K, H) per-frame occupancy indicators.
+    gammas:
+        Per-event occurrence-loss weights γ_k; defaults to ones.
+    """
+    frame_targets = np.asarray(frame_targets, dtype=np.float64)
+    if frame_targets.shape != frame_scores.shape:
+        raise ValueError(
+            f"frame_targets shape {frame_targets.shape} != scores shape "
+            f"{frame_scores.shape}"
+        )
+    batch, num_events, _ = frame_targets.shape
+    gamma = _event_weights(gammas, num_events)
+    weights = interval_weights(labels, frame_targets)
+    pos = Tensor(frame_targets)
+    neg = Tensor(1.0 - frame_targets)
+    per_frame = -(pos * log_safe(frame_scores) + neg * log_safe(1.0 - frame_scores))
+    weighted = per_frame * Tensor(weights) * Tensor(gamma.reshape(1, -1, 1))
+    return weighted.sum() * (1.0 / batch)
+
+
+def total_loss(
+    scores: Tensor,
+    frame_scores: Tensor,
+    labels: np.ndarray,
+    frame_targets: np.ndarray,
+    betas: Optional[Sequence[float]] = None,
+    gammas: Optional[Sequence[float]] = None,
+) -> Tensor:
+    """``L_total = L1 + L2`` as in paper §III."""
+    return existence_loss(scores, labels, betas) + interval_loss(
+        frame_scores, labels, frame_targets, gammas
+    )
+
+
+def _event_weights(weights: Optional[Sequence[float]], count: int) -> np.ndarray:
+    if weights is None:
+        return np.ones(count)
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.shape != (count,):
+        raise ValueError(f"expected {count} event weights, got shape {arr.shape}")
+    if (arr < 0).any():
+        raise ValueError("event weights must be non-negative")
+    return arr

@@ -1,0 +1,110 @@
+"""Learning-rate schedules for :mod:`repro.nn` optimisers.
+
+Small LSTM models benefit from a brief warmup (stabilises the gate
+statistics) and late-stage decay (settles the interval boundaries);
+the EventHit trainer accepts any of these via its ``scheduler`` argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "StepDecay", "CosineDecay", "LinearWarmup", "chain"]
+
+
+class Scheduler:
+    """Base class: mutates ``optimizer.lr`` once per epoch via :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        new_lr = self.lr_at(self.epoch)
+        if new_lr <= 0:
+            raise ValueError("scheduler produced a non-positive learning rate")
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepDecay(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineDecay(Scheduler):
+    """Cosine annealing from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 1e-5):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        if min_lr <= 0 or min_lr > self.base_lr:
+            raise ValueError("min_lr must be in (0, base_lr]")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class LinearWarmup(Scheduler):
+    """Ramp linearly from ``start_factor``·base to base over ``warmup_epochs``,
+    then hand over to an optional inner scheduler."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_epochs: int,
+        start_factor: float = 0.1,
+        after: Optional[Scheduler] = None,
+    ):
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError("warmup_epochs must be positive")
+        if not 0.0 < start_factor <= 1.0:
+            raise ValueError("start_factor must be in (0, 1]")
+        if after is not None and after.optimizer is not optimizer:
+            raise ValueError("inner scheduler must share the optimizer")
+        self.warmup_epochs = warmup_epochs
+        self.start_factor = start_factor
+        self.after = after
+        # Apply the warmup starting point immediately.
+        optimizer.lr = self.base_lr * start_factor
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            fraction = epoch / self.warmup_epochs
+            factor = self.start_factor + (1.0 - self.start_factor) * fraction
+            return self.base_lr * factor
+        if self.after is not None:
+            return self.after.lr_at(epoch - self.warmup_epochs)
+        return self.base_lr
+
+
+def chain(optimizer: Optimizer, warmup_epochs: int, total_epochs: int) -> Scheduler:
+    """The standard recipe: linear warmup into cosine decay."""
+    cosine = CosineDecay(optimizer, total_epochs=max(1, total_epochs - warmup_epochs))
+    return LinearWarmup(optimizer, warmup_epochs=warmup_epochs, after=cosine)

@@ -1,0 +1,40 @@
+"""Save/load helpers for :class:`repro.nn.layers.Module` state.
+
+Checkpoints are plain ``.npz`` archives keyed by parameter path, so they are
+portable, inspectable with numpy alone, and safe to load (no pickle).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module", "save_state", "load_state"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_state(state: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Write a parameter-name → array mapping to an ``.npz`` archive."""
+    np.savez(path, **state)
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Serialise a module's parameters to ``path`` (``.npz``)."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Load parameters into ``module`` in place and return it."""
+    module.load_state_dict(load_state(path))
+    return module

@@ -1,0 +1,29 @@
+"""Classical survival analysis — the methodological substrate EventHit and
+the COX baseline draw on: Kaplan–Meier, Nelson–Aalen, log-rank tests, and
+bridges from event schedules / §II records to survival samples."""
+
+from .estimators import (
+    KaplanMeier,
+    LogRankResult,
+    NelsonAalen,
+    SurvivalData,
+    logrank_test,
+)
+from .analysis import (
+    expected_time_to_onset,
+    gaps_as_survival,
+    onset_drift_test,
+    records_as_survival,
+)
+
+__all__ = [
+    "SurvivalData",
+    "KaplanMeier",
+    "NelsonAalen",
+    "LogRankResult",
+    "logrank_test",
+    "gaps_as_survival",
+    "records_as_survival",
+    "onset_drift_test",
+    "expected_time_to_onset",
+]

@@ -1,0 +1,65 @@
+"""Synthetic video-stream substrate.
+
+Stands in for the camera feeds + annotated corpora (VIRAT / THUMOS /
+Breakfast) of the paper: event types and occurrence intervals (§II),
+arrival processes (§I), reproducible streams, and Table I-calibrated
+dataset generators.
+"""
+
+from .events import EventInstance, EventSchedule, EventType, HorizonEvent
+from .arrivals import (
+    ArrivalProcess,
+    FixedCountArrivals,
+    GeometricArrivals,
+    MarkovModulatedPoissonArrivals,
+    PoissonArrivals,
+    RegularArrivals,
+)
+from .stream import StreamSegment, VideoStream
+from .tracks import Track, TrackSet, simulate_tracks
+from .datasets import (
+    DatasetSpec,
+    EVENT_TYPES,
+    GROUP1_EVENTS,
+    GROUP2_EVENTS,
+    TABLE1_ROWS,
+    Table1Row,
+    build_schedule,
+    make_breakfast,
+    make_dataset,
+    make_stream,
+    make_thumos,
+    make_virat,
+    table1_stats,
+)
+
+__all__ = [
+    "EventType",
+    "EventInstance",
+    "HorizonEvent",
+    "EventSchedule",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "GeometricArrivals",
+    "FixedCountArrivals",
+    "RegularArrivals",
+    "MarkovModulatedPoissonArrivals",
+    "VideoStream",
+    "StreamSegment",
+    "Track",
+    "TrackSet",
+    "simulate_tracks",
+    "DatasetSpec",
+    "Table1Row",
+    "TABLE1_ROWS",
+    "EVENT_TYPES",
+    "GROUP1_EVENTS",
+    "GROUP2_EVENTS",
+    "make_virat",
+    "make_thumos",
+    "make_breakfast",
+    "make_dataset",
+    "make_stream",
+    "build_schedule",
+    "table1_stats",
+]

@@ -1,0 +1,201 @@
+"""Event arrival processes (paper §I: "events may be i.i.d., such as Poisson
+as in the case of truck arrivals ... or geometric").
+
+An arrival process proposes onset frames for event instances of one type in
+a stream of given length.  The scheduler in :mod:`repro.video.datasets` then
+draws a duration for each onset and drops proposals that would overlap the
+previous instance of the same type.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "GeometricArrivals",
+    "FixedCountArrivals",
+    "RegularArrivals",
+    "MarkovModulatedPoissonArrivals",
+]
+
+
+class ArrivalProcess(Protocol):
+    """Protocol: propose sorted onset frames within [0, length)."""
+
+    def sample(self, length: int, rng: np.random.Generator) -> List[int]:
+        ...
+
+
+def _validate_length(length: int) -> None:
+    if length <= 0:
+        raise ValueError("stream length must be positive")
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson process with ``rate`` arrivals per frame.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``; this is the
+    paper's canonical truck-arrival model.
+    """
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def sample(self, length: int, rng: np.random.Generator) -> List[int]:
+        _validate_length(length)
+        onsets: List[int] = []
+        t = rng.exponential(1.0 / self.rate)
+        while t < length:
+            onsets.append(int(t))
+            t += rng.exponential(1.0 / self.rate)
+        return onsets
+
+    def expected_count(self, length: int) -> float:
+        return self.rate * length
+
+
+class GeometricArrivals:
+    """Bernoulli trials per frame: an onset occurs w.p. ``p`` each frame.
+
+    Inter-arrival gaps are geometric — the paper's defective-product model.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self.p = p
+
+    def sample(self, length: int, rng: np.random.Generator) -> List[int]:
+        _validate_length(length)
+        hits = rng.random(length) < self.p
+        return list(np.flatnonzero(hits))
+
+    def expected_count(self, length: int) -> float:
+        return self.p * length
+
+
+class FixedCountArrivals:
+    """Exactly ``count`` onsets scattered with a minimum gap.
+
+    Used to calibrate synthetic datasets to Table I occurrence counts: we
+    need e.g. exactly 54 instances of "Person Opening a Vehicle".  Onsets
+    are drawn by jittering an even grid, which guarantees the minimum gap
+    without rejection sampling.
+    """
+
+    def __init__(self, count: int, min_gap: int = 1):
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if min_gap < 1:
+            raise ValueError("min_gap must be >= 1")
+        self.count = count
+        self.min_gap = min_gap
+
+    def sample(self, length: int, rng: np.random.Generator) -> List[int]:
+        _validate_length(length)
+        if self.count * self.min_gap > length:
+            raise ValueError(
+                f"cannot place {self.count} onsets with gap {self.min_gap} "
+                f"in {length} frames"
+            )
+        cell = length / self.count
+        slack = max(0.0, cell - self.min_gap)
+        onsets = []
+        for i in range(self.count):
+            base = i * cell
+            onsets.append(int(base + rng.random() * slack))
+        return onsets
+
+    def expected_count(self, length: int) -> float:
+        return float(self.count)
+
+
+class RegularArrivals:
+    """Deterministic onsets every ``period`` frames starting at ``offset``.
+
+    Handy for tests and for perfectly periodic industrial workloads.
+    """
+
+    def __init__(self, period: int, offset: int = 0):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.period = period
+        self.offset = offset
+
+    def sample(self, length: int, rng: np.random.Generator) -> List[int]:
+        _validate_length(length)
+        return list(range(self.offset, length, self.period))
+
+    def expected_count(self, length: int) -> float:
+        return max(0.0, (length - self.offset + self.period - 1) // self.period)
+
+
+class MarkovModulatedPoissonArrivals:
+    """Markov-modulated Poisson process (MMPP): a bursty, *non-stationary*
+    arrival model.
+
+    A hidden two-state Markov chain (quiet / busy) switches the Poisson
+    rate; dwell times in each state are geometric.  MMPP breaks the
+    stationarity assumption the paper's conclusion highlights, so the
+    drift tooling uses it to generate workloads whose occurrence
+    distribution genuinely changes over time.
+
+    Parameters
+    ----------
+    quiet_rate / busy_rate:
+        Arrival rates (per frame) in the two regimes.
+    switch_prob:
+        Per-frame probability of toggling the hidden state.
+    start_busy:
+        Initial regime.
+    """
+
+    def __init__(
+        self,
+        quiet_rate: float,
+        busy_rate: float,
+        switch_prob: float = 1e-4,
+        start_busy: bool = False,
+    ):
+        if quiet_rate <= 0 or busy_rate <= 0:
+            raise ValueError("rates must be positive")
+        if quiet_rate >= busy_rate:
+            raise ValueError("busy_rate must exceed quiet_rate")
+        if not 0.0 < switch_prob < 1.0:
+            raise ValueError("switch_prob must be in (0, 1)")
+        self.quiet_rate = quiet_rate
+        self.busy_rate = busy_rate
+        self.switch_prob = switch_prob
+        self.start_busy = start_busy
+
+    def sample_with_states(self, length: int, rng: np.random.Generator):
+        """Return (onsets, per-frame busy indicator)."""
+        _validate_length(length)
+        # Hidden-state path: toggle at geometric dwell boundaries.
+        toggles = rng.random(length) < self.switch_prob
+        busy = np.empty(length, dtype=bool)
+        state = self.start_busy
+        for t in range(length):
+            if toggles[t]:
+                state = not state
+            busy[t] = state
+        rates = np.where(busy, self.busy_rate, self.quiet_rate)
+        hits = rng.random(length) < rates
+        return list(np.flatnonzero(hits)), busy
+
+    def sample(self, length: int, rng: np.random.Generator) -> List[int]:
+        onsets, _ = self.sample_with_states(length, rng)
+        return onsets
+
+    def expected_count(self, length: int) -> float:
+        """Stationary expectation (the chain spends half its time in each
+        regime under symmetric switching)."""
+        return 0.5 * (self.quiet_rate + self.busy_rate) * length

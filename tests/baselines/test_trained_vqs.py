@@ -1,0 +1,119 @@
+"""Tests for the trained specialized-NN VQS variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TrainedVQSPredictor, VQSPredictor
+from repro.data import DatasetBuilder
+from repro.features import extract_features
+from repro.metrics import existence_precision, existence_recall, spillage
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+
+ET = EventType("gate", duration_mean=40, duration_std=4, lead_time=80,
+               predictability=0.9)
+
+
+def world(seed, length=4000):
+    rng = np.random.default_rng(seed)
+    instances = []
+    onset = 300
+    while onset < length - 200:
+        duration = ET.sample_duration(rng)
+        instances.append(EventInstance(onset, min(onset + duration - 1,
+                                                  length - 1), ET))
+        onset += int(rng.integers(500, 800))
+    stream = VideoStream(length, EventSchedule(length, instances), seed=seed)
+    return stream, extract_features(stream, [ET])
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    train_stream, train_features = world(seed=1)
+    test_stream, test_features = world(seed=2)
+    predictor = TrainedVQSPredictor(epochs=8, seed=0)
+    predictor.fit(train_stream, train_features, [ET])
+    predictor.bind(test_stream, test_features)
+    builder = DatasetBuilder(window_size=8, horizon=120, stride=10)
+    records = builder.build(test_stream, test_features, [ET])
+    return predictor, records, test_stream, test_features
+
+
+class TestLifecycle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainedVQSPredictor(hidden=0)
+        with pytest.raises(ValueError):
+            TrainedVQSPredictor(learning_rate=0)
+        with pytest.raises(ValueError):
+            TrainedVQSPredictor(max_train_frames=0)
+
+    def test_fit_before_bind_before_predict(self):
+        predictor = TrainedVQSPredictor()
+        stream, features = world(seed=3)
+        with pytest.raises(RuntimeError):
+            predictor.bind(stream, features)
+        predictor.fit(stream, features, [ET])
+        builder = DatasetBuilder(window_size=8, horizon=120, stride=50)
+        records = builder.build(stream, features, [ET])
+        with pytest.raises(RuntimeError):
+            predictor.predict(records, tau=1)
+
+    def test_fit_requires_positive_frames(self):
+        empty = VideoStream(1000, EventSchedule(1000, []), seed=0)
+        features = extract_features(empty, [ET])
+        with pytest.raises(ValueError):
+            TrainedVQSPredictor().fit(empty, features, [ET])
+
+    def test_fit_requires_events(self):
+        stream, features = world(seed=3)
+        with pytest.raises(ValueError):
+            TrainedVQSPredictor().fit(stream, features, [])
+
+    def test_feature_length_checked(self):
+        stream, features = world(seed=3)
+        short = type(features)(features.values[:100], features.channel_names)
+        with pytest.raises(ValueError):
+            TrainedVQSPredictor().fit(stream, short, [ET])
+
+
+class TestPrediction:
+    def test_relays_whole_horizons(self, fitted):
+        predictor, records, *_ = fitted
+        pred = predictor.predict(records, tau=10)
+        on = pred.exists
+        assert on.any()
+        assert np.all(pred.starts[on] == 1)
+        assert np.all(pred.ends[on] == records.horizon)
+
+    def test_threshold_monotone(self, fitted):
+        predictor, records, *_ = fitted
+        loose = predictor.predict(records, tau=1)
+        strict = predictor.predict(records, tau=30)
+        assert loose.exists.sum() >= strict.exists.sum()
+
+    def test_filter_learned_something(self, fitted):
+        """The trained filter should recall event horizons well."""
+        predictor, records, *_ = fitted
+        pred = predictor.predict(records, tau=10)
+        assert existence_recall(pred, records) > 0.7
+        assert spillage(pred, records) < 0.9
+
+    def test_sharper_than_raw_counts(self, fitted):
+        """At matched recall, the trained filter's precision is at least
+        comparable to the raw count threshold (it fuses all channels)."""
+        predictor, records, test_stream, _ = fitted
+        raw = VQSPredictor(test_stream, [ET])
+        trained_pred = predictor.predict(records, tau=10)
+        raw_pred = raw.predict(records, tau=10)
+        trained_prec = existence_precision(trained_pred, records)
+        raw_prec = existence_precision(raw_pred, records)
+        if not (np.isnan(trained_prec) or np.isnan(raw_prec)):
+            assert trained_prec >= raw_prec - 0.25
+
+    def test_rejects_unknown_knobs(self, fitted):
+        predictor, records, *_ = fitted
+        with pytest.raises(TypeError):
+            predictor.predict(records, alpha=0.9)
+        with pytest.raises(ValueError):
+            predictor.predict(records, tau=-1)

@@ -1,0 +1,134 @@
+"""Integration tests for the stream marshalling loop."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudInferenceService, StreamMarshaller
+from repro.conformal import ConformalClassifier, ConformalRegressor
+from repro.core import EventHitConfig, train_eventhit
+from repro.data import build_experiment_data
+from repro.features import CovariatePipeline, FeatureExtractor
+from repro.video import make_thumos
+from repro.video.datasets import EVENT_TYPES
+
+
+CONFIG = EventHitConfig(
+    window_size=10,
+    horizon=200,
+    lstm_hidden=16,
+    shared_hidden=(16,),
+    head_hidden=(32,),
+    dropout=0.0,
+    learning_rate=5e-3,
+    epochs=12,
+    batch_size=32,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = make_thumos(scale=0.06).with_events(["E7"])
+    data = build_experiment_data(spec, seed=0, max_records=150, stride=15)
+    model, _ = train_eventhit(data.train, config=CONFIG)
+    pipeline = CovariatePipeline(spec.window_size, standardizer=data.standardizer)
+    return spec, data, model, pipeline
+
+
+class TestMarshaller:
+    def test_basic_run_accounts_consistently(self, setup):
+        spec, data, model, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(
+            model, data.event_types, pipeline, tau1=0.5, tau2=0.5
+        )
+        report = marshaller.run(data.test_stream, data.test_features, service)
+        assert report.horizons_evaluated > 0
+        assert report.frames_covered == report.horizons_evaluated * spec.horizon
+        assert report.frames_relayed == service.ledger.frames_processed
+        assert report.total_cost == pytest.approx(
+            service.ledger.total_cost
+        )
+        assert 0 <= report.relay_fraction <= 1
+
+    def test_recall_reasonable_with_conformal(self, setup):
+        spec, data, model, pipeline = setup
+        classifier = ConformalClassifier(model).calibrate(data.calibration)
+        regressor = ConformalRegressor(model).calibrate(data.calibration)
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(
+            model,
+            data.event_types,
+            pipeline,
+            classifier=classifier,
+            regressor=regressor,
+            confidence=0.95,
+            alpha=0.95,
+        )
+        report = marshaller.run(data.test_stream, data.test_features, service)
+        assert report.frame_recall > 0.5
+        # The whole point: relay far fewer frames than brute force.
+        assert report.relay_fraction < 0.9
+
+    def test_conformal_relays_more_than_plain(self, setup):
+        spec, data, model, pipeline = setup
+        plain_service = CloudInferenceService(data.test_stream)
+        plain = StreamMarshaller(model, data.event_types, pipeline)
+        plain_report = plain.run(data.test_stream, data.test_features, plain_service)
+
+        classifier = ConformalClassifier(model).calibrate(data.calibration)
+        regressor = ConformalRegressor(model).calibrate(data.calibration)
+        conf_service = CloudInferenceService(data.test_stream)
+        conf = StreamMarshaller(
+            model, data.event_types, pipeline,
+            classifier=classifier, regressor=regressor,
+            confidence=0.99, alpha=0.99,
+        )
+        conf_report = conf.run(data.test_stream, data.test_features, conf_service)
+        assert conf_report.frames_relayed >= plain_report.frames_relayed
+
+    def test_max_horizons_limits_work(self, setup):
+        spec, data, model, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(model, data.event_types, pipeline)
+        report = marshaller.run(
+            data.test_stream, data.test_features, service, max_horizons=3
+        )
+        assert report.horizons_evaluated == 3
+
+    def test_cost_saving_vs_brute_force(self, setup):
+        spec, data, model, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(model, data.event_types, pipeline)
+        report = marshaller.run(data.test_stream, data.test_features, service)
+        saving = report.cost_saving_vs_brute_force(0.001)
+        assert saving > 0
+
+    def test_validation(self, setup):
+        spec, data, model, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        with pytest.raises(ValueError):
+            StreamMarshaller(model, [], pipeline)
+        uncal = ConformalClassifier(model)
+        with pytest.raises(ValueError):
+            StreamMarshaller(model, data.event_types, pipeline, classifier=uncal)
+        with pytest.raises(ValueError):
+            StreamMarshaller(model, data.event_types, pipeline, confidence=2.0)
+        with pytest.raises(ValueError):
+            StreamMarshaller(model, data.event_types, pipeline, alpha=0.0)
+
+    def test_wrong_stream_binding_raises(self, setup):
+        spec, data, model, pipeline = setup
+        service = CloudInferenceService(data.train_stream)
+        marshaller = StreamMarshaller(model, data.event_types, pipeline)
+        with pytest.raises(ValueError):
+            marshaller.run(data.test_stream, data.test_features, service)
+
+    def test_start_frame_validation(self, setup):
+        spec, data, model, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(model, data.event_types, pipeline)
+        with pytest.raises(ValueError):
+            marshaller.run(
+                data.test_stream, data.test_features, service, start_frame=0
+            )

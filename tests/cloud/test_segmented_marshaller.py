@@ -1,0 +1,120 @@
+"""Tests for the multi-instance (segmented) marshalling mode."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudInferenceService, StreamMarshaller
+from repro.conformal import ConformalRegressor
+from repro.core import EventHitConfig, train_eventhit
+from repro.data import DatasetBuilder
+from repro.features import CovariatePipeline, FeatureExtractor, Standardizer
+from repro.video.arrivals import RegularArrivals
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+
+# A dense periodic world: two short event instances per 200-frame horizon,
+# so span-mode relays bridge a long idle gap that segmented mode skips.
+# The lead time is shorter than the period so the precursor ramp resets
+# between instances and encodes the phase (a saturated ramp would carry no
+# offset information).
+ET = EventType("pulse", duration_mean=20, duration_std=2, lead_time=90,
+               predictability=0.95)
+HORIZON = 200
+WINDOW = 10
+
+
+def periodic_stream(length=12_000, seed=0, period=100):
+    rng = np.random.default_rng(seed)
+    onsets = RegularArrivals(period=period, offset=30).sample(length, rng)
+    instances = []
+    for onset in onsets:
+        duration = ET.sample_duration(rng)
+        end = min(onset + duration - 1, length - 1)
+        if instances and onset <= instances[-1].end:
+            continue
+        instances.append(EventInstance(onset, end, ET))
+    return VideoStream(length, EventSchedule(length, instances), seed=seed)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    extractor = FeatureExtractor()
+    train_stream = periodic_stream(seed=1)
+    live_stream = periodic_stream(seed=2)
+    train_features = extractor.extract(train_stream, [ET])
+    standardizer = Standardizer.fit(train_features.values)
+    pipeline = CovariatePipeline(WINDOW, standardizer=standardizer)
+    builder = DatasetBuilder(window_size=WINDOW, horizon=HORIZON,
+                             stride=WINDOW, pipeline=pipeline)
+    rng = np.random.default_rng(0)
+    # Footnote-1 mode: the L2 target marks every instance in the horizon,
+    # so the model learns to light up both pulses per horizon.
+    train_records = builder.build(train_stream, train_features, [ET],
+                                  max_records=300, rng=rng,
+                                  multi_instance=True)
+    config = EventHitConfig(
+        window_size=WINDOW, horizon=HORIZON, lstm_hidden=16,
+        shared_hidden=(16,), head_hidden=(32,), dropout=0.0,
+        learning_rate=5e-3, epochs=20, batch_size=32, seed=0,
+    )
+    model, _ = train_eventhit(train_records, config=config)
+    live_features = extractor.extract(live_stream, [ET])
+    calib_records = builder.build(live_stream, live_features, [ET],
+                                  max_records=200, rng=rng)
+    regressor = ConformalRegressor(model).calibrate(calib_records)
+    return model, pipeline, live_stream, live_features, regressor
+
+
+def run_marshaller(setup, **kwargs):
+    model, pipeline, stream, features, regressor = setup
+    service = CloudInferenceService(stream)
+    marshaller = StreamMarshaller(model, [ET], pipeline, **kwargs)
+    report = marshaller.run(stream, features, service)
+    return report
+
+
+class TestSegmentedMode:
+    def test_validation(self, setup):
+        model, pipeline, stream, features, regressor = setup
+        with pytest.raises(ValueError):
+            StreamMarshaller(model, [ET], pipeline, segmented=True,
+                             segment_min_gap=0)
+
+    def test_segmented_relays_fewer_frames_at_similar_recall(self, setup):
+        span = run_marshaller(setup, segmented=False)
+        seg = run_marshaller(setup, segmented=True, segment_min_gap=5)
+        assert span.frame_recall > 0.6
+        # Multiple instances per horizon: span mode bridges the idle gaps,
+        # so segmented relays dramatically fewer frames; the recall cost is
+        # bounded (raw segments clip a few boundary frames that the span
+        # covers by accident — C-REGRESS widening recovers them, tested
+        # below).
+        assert seg.frames_relayed < 0.8 * span.frames_relayed
+        assert seg.frame_recall >= span.frame_recall - 0.15
+
+    def test_segmented_with_regressor_widens_per_segment(self, setup):
+        model, pipeline, stream, features, regressor = setup
+        plain = run_marshaller(setup, segmented=True, segment_min_gap=5)
+        widened = run_marshaller(
+            setup, segmented=True, segment_min_gap=5,
+            regressor=regressor, alpha=0.95,
+        )
+        assert widened.frames_relayed >= plain.frames_relayed
+        assert widened.frame_recall >= plain.frame_recall - 1e-9
+
+    def test_segmented_billing_consistent(self, setup):
+        model, pipeline, stream, features, regressor = setup
+        service = CloudInferenceService(stream)
+        marshaller = StreamMarshaller(model, [ET], pipeline, segmented=True)
+        report = marshaller.run(stream, features, service)
+        assert report.frames_relayed == service.ledger.frames_processed
+
+
+def test_merge_runs_helper():
+    from repro.cloud.marshaller import _merge_runs
+
+    assert _merge_runs([]) == []
+    assert _merge_runs([(1, 3), (5, 7)]) == [(1, 3), (5, 7)]
+    assert _merge_runs([(1, 3), (4, 7)]) == [(1, 7)]  # adjacent merge
+    assert _merge_runs([(5, 9), (1, 6)]) == [(1, 9)]  # overlap, unsorted
+    assert _merge_runs([(1, 10), (2, 3)]) == [(1, 10)]  # containment

@@ -1,0 +1,132 @@
+"""Tests for the conformal primitives: p-values and residual quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformal import (
+    conformal_p_values,
+    margin_nonconformity,
+    nonconformity_from_score,
+    residual_quantile,
+)
+
+
+class TestNonconformityMeasures:
+    def test_one_minus_score(self):
+        np.testing.assert_allclose(
+            nonconformity_from_score(np.array([0.0, 0.3, 1.0])), [1.0, 0.7, 0.0]
+        )
+
+    def test_margin(self):
+        np.testing.assert_allclose(
+            margin_nonconformity(np.array([0.0, 0.5, 1.0])), [1.0, 0.0, -1.0]
+        )
+
+    def test_both_monotone_decreasing_in_score(self):
+        scores = np.linspace(0, 1, 11)
+        for measure in (nonconformity_from_score, margin_nonconformity):
+            values = measure(scores)
+            assert np.all(np.diff(values) < 1e-12)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            nonconformity_from_score(np.array([1.2]))
+        with pytest.raises(ValueError):
+            margin_nonconformity(np.array([-0.1]))
+
+
+class TestPValues:
+    def test_matches_bruteforce_definition(self):
+        calib = np.array([0.1, 0.5, 0.9, 0.3])
+        test = np.array([0.2, 0.95, 0.0])
+        p = conformal_p_values(test, calib)
+        for value, a_o in zip(p, test):
+            expected = np.sum(a_o <= calib) / (calib.size + 1)
+            assert value == pytest.approx(expected)
+
+    def test_most_conforming_highest_p(self):
+        calib = np.linspace(0.1, 1.0, 10)
+        p_low = conformal_p_values(np.array([0.0]), calib)[0]
+        p_high = conformal_p_values(np.array([1.1]), calib)[0]
+        assert p_low > p_high
+        assert p_low == pytest.approx(10 / 11)
+        assert p_high == pytest.approx(0.0)
+
+    def test_p_values_bounded(self):
+        calib = np.random.default_rng(0).random(50)
+        test = np.random.default_rng(1).random(20)
+        p = conformal_p_values(test, calib)
+        assert np.all((p >= 0) & (p <= 50 / 51))
+
+    def test_rejects_2d_calibration(self):
+        with pytest.raises(ValueError):
+            conformal_p_values(np.array([0.5]), np.zeros((2, 2)))
+
+    @given(st.integers(5, 60), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_uniformity_under_exchangeability(self, n, seed):
+        """P(p <= t) <= t for exchangeable scores — the validity property."""
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n + 1)
+        calib, test = scores[:-1], scores[-1:]
+        p = conformal_p_values(test, calib)[0]
+        # p counts only calibration points (the paper's formula), so it
+        # ranges over {0/(n+1), ..., n/(n+1)}.
+        assert 0.0 <= p <= n / (n + 1) + 1e-12
+        assert round(p * (n + 1)) == pytest.approx(p * (n + 1))
+
+    def test_exchangeable_coverage_simulation(self):
+        """Empirical check of Theorem 4.1: miss rate ≤ 1 − c + noise."""
+        rng = np.random.default_rng(42)
+        c = 0.8
+        misses = 0
+        trials = 2000
+        for _ in range(trials):
+            scores = rng.random(30)
+            calib, test = scores[:-1], scores[-1:]
+            p = conformal_p_values(test, calib)[0]
+            if p < 1 - c:
+                misses += 1
+        assert misses / trials <= (1 - c) + 0.03
+
+
+class TestResidualQuantile:
+    def test_matches_ceil_rank(self):
+        residuals = [5.0, 1.0, 3.0, 2.0, 4.0]
+        # sorted: 1 2 3 4 5; alpha=0.5 → rank ceil(2.5)=3 → value 3
+        assert residual_quantile(residuals, 0.5) == 3.0
+        assert residual_quantile(residuals, 1.0) == 5.0
+        assert residual_quantile(residuals, 0.2) == 1.0
+        assert residual_quantile(residuals, 0.01) == 1.0
+
+    def test_monotone_in_alpha(self):
+        rng = np.random.default_rng(0)
+        residuals = rng.random(50) * 10
+        values = [residual_quantile(residuals, a) for a in np.linspace(0.05, 1, 20)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            residual_quantile([], 0.5)
+        with pytest.raises(ValueError):
+            residual_quantile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            residual_quantile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            residual_quantile([-1.0], 0.5)
+
+    def test_single_residual(self):
+        assert residual_quantile([7.0], 0.3) == 7.0
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=40),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_property(self, residuals, alpha):
+        """At least ⌈α·n⌉ residuals are ≤ the α-quantile."""
+        q = residual_quantile(residuals, alpha)
+        count = sum(1 for r in residuals if r <= q)
+        assert count >= int(np.ceil(alpha * len(residuals)))

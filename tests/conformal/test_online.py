@@ -1,0 +1,165 @@
+"""Tests for sliding-window (online) conformal calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformal import (
+    ConformalClassifier,
+    ConformalRegressor,
+    OnlineConformalClassifier,
+    OnlineConformalRegressor,
+    SlidingScoreWindow,
+)
+from tests.conformal.test_classify_regress import CONFIG, synthetic_records
+
+from repro.core import train_eventhit
+
+
+@pytest.fixture(scope="module")
+def trained():
+    train = synthetic_records(b=160, seed=0)
+    calib = synthetic_records(b=120, seed=1)
+    test = synthetic_records(b=120, seed=2)
+    model, _ = train_eventhit(train, config=CONFIG)
+    return model, calib, test
+
+
+class TestSlidingScoreWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingScoreWindow(0)
+
+    def test_push_and_sorted(self):
+        window = SlidingScoreWindow(5)
+        for v in (3.0, 1.0, 2.0):
+            window.push(v)
+        np.testing.assert_array_equal(window.sorted_values(), [1, 2, 3])
+
+    def test_eviction_fifo_order(self):
+        window = SlidingScoreWindow(3)
+        for v in (5.0, 1.0, 3.0, 2.0):  # 5.0 (oldest) evicted
+            window.push(v)
+        np.testing.assert_array_equal(window.sorted_values(), [1, 2, 3])
+        assert window.is_full
+
+    def test_clear(self):
+        window = SlidingScoreWindow(3)
+        window.push(1.0)
+        window.clear()
+        assert len(window) == 0
+
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_view_matches_last_k(self, values):
+        window = SlidingScoreWindow(10)
+        for v in values:
+            window.push(v)
+        expected = np.sort(np.asarray(values[-10:], dtype=float))
+        np.testing.assert_array_equal(window.sorted_values(), expected)
+
+
+class TestOnlineClassifier:
+    def test_warm_start_matches_batch(self, trained):
+        """With an identical calibration window, online == batch p-values."""
+        model, calib, test = trained
+        batch = ConformalClassifier(model).calibrate(calib)
+        online = OnlineConformalClassifier(model, window=10_000).warm_start(calib)
+        output = model.predict(test.covariates)
+        np.testing.assert_allclose(batch.p_values(output), online.p_values(output))
+
+    def test_requires_observations(self, trained):
+        model, calib, test = trained
+        online = OnlineConformalClassifier(model)
+        with pytest.raises(RuntimeError):
+            online.p_values(model.predict(test.covariates))
+
+    def test_observe_single(self, trained):
+        model, _, test = trained
+        online = OnlineConformalClassifier(model, window=10)
+        for score in (0.9, 0.8, 0.95):
+            online.observe(0, score)
+        assert online.is_calibrated
+        assert online.window_sizes() == [3]
+        with pytest.raises(IndexError):
+            online.observe(5, 0.5)
+
+    def test_observe_output_records_positives_only(self, trained):
+        model, calib, test = trained
+        online = OnlineConformalClassifier(model, window=1000)
+        output = model.predict(calib.covariates)
+        online.observe_output(output, calib.labels)
+        assert online.window_sizes()[0] == int(calib.labels.sum())
+
+    def test_sliding_window_adapts(self, trained):
+        """After drift, a window full of post-drift scores restores recall."""
+        model, calib, test = trained
+        online = OnlineConformalClassifier(model, window=30).warm_start(calib)
+        output = model.predict(test.covariates)
+        # Simulate drift: the model now emits low scores for positives.
+        # Feed post-drift positive scores; the window evicts stale entries.
+        for _ in range(30):
+            online.observe(0, 0.05)
+        # A new positive with score 0.05 is now conforming.
+        drifted = type(output)(np.array([[0.05]]), np.full((1, 1, 16), 0.1))
+        assert online.predict(drifted, confidence=0.9)[0, 0]
+
+    def test_confidence_validation(self, trained):
+        model, calib, test = trained
+        online = OnlineConformalClassifier(model, window=10).warm_start(calib)
+        with pytest.raises(ValueError):
+            online.predict(model.predict(test.covariates), confidence=-0.1)
+
+    def test_warm_start_event_mismatch(self, trained):
+        model, calib, _ = trained
+        from repro.core import EventHit
+
+        other = EventHit(4, 2, config=CONFIG)
+        with pytest.raises(ValueError):
+            OnlineConformalClassifier(other).warm_start(calib)
+
+
+class TestOnlineRegressor:
+    def test_warm_start_matches_batch_quantiles(self, trained):
+        model, calib, _ = trained
+        batch = ConformalRegressor(model).calibrate(calib)
+        online = OnlineConformalRegressor(model, window=10_000).warm_start(calib)
+        for alpha in (0.3, 0.7, 0.95):
+            np.testing.assert_allclose(
+                batch.quantiles(alpha), online.quantiles(alpha)
+            )
+
+    def test_observe_residuals(self, trained):
+        model, _, _ = trained
+        online = OnlineConformalRegressor(model, window=5)
+        online.observe(0, 2.0, 3.0)
+        assert online.is_calibrated
+        q = online.quantiles(1.0)
+        np.testing.assert_array_equal(q, [[2.0, 3.0]])
+        with pytest.raises(ValueError):
+            online.observe(0, -1.0, 0.0)
+        with pytest.raises(IndexError):
+            online.observe(9, 1.0, 1.0)
+
+    def test_predict_widens(self, trained):
+        model, calib, test = trained
+        online = OnlineConformalRegressor(model, window=1000).warm_start(calib)
+        output = model.predict(test.covariates)
+        exists = np.ones_like(output.scores, dtype=bool)
+        narrow = online.predict(output, exists, alpha=0.2)
+        wide = online.predict(output, exists, alpha=0.99)
+        assert (wide.predicted_frames() >= narrow.predicted_frames()).all()
+
+    def test_requires_observations(self, trained):
+        model, _, _ = trained
+        with pytest.raises(RuntimeError):
+            OnlineConformalRegressor(model).quantiles(0.5)
+
+    def test_validation(self, trained):
+        model, calib, _ = trained
+        with pytest.raises(ValueError):
+            OnlineConformalRegressor(model, tau2=1.5)
+        online = OnlineConformalRegressor(model).warm_start(calib)
+        with pytest.raises(ValueError):
+            online.quantiles(0.0)

@@ -1,0 +1,105 @@
+"""Tests for whole-model EventHit checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EventHit,
+    EventHitConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def small_config(**kw):
+    defaults = dict(
+        window_size=5, horizon=12, lstm_hidden=8, shared_hidden=(8,),
+        head_hidden=(8,), dropout=0.0, epochs=1, seed=3,
+    )
+    defaults.update(kw)
+    return EventHitConfig(**defaults)
+
+
+class TestCheckpointRoundtrip:
+    def test_outputs_identical_after_roundtrip(self, tmp_path):
+        model = EventHit(4, 2, config=small_config())
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        x = np.random.default_rng(0).normal(size=(6, 5, 4))
+        np.testing.assert_allclose(
+            model.predict(x).scores, restored.predict(x).scores
+        )
+        np.testing.assert_allclose(
+            model.predict(x).frame_scores, restored.predict(x).frame_scores
+        )
+
+    def test_architecture_restored(self, tmp_path):
+        config = small_config(betas=(2.0, 1.0), gammas=(1.0, 3.0))
+        model = EventHit(4, 2, config=config, encoder="gru")
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        assert restored.num_features == 4
+        assert restored.num_events == 2
+        assert restored.encoder_kind == "gru"
+        assert restored.config.betas == (2.0, 1.0)
+        assert restored.config.gammas == (1.0, 3.0)
+        assert restored.config.horizon == 12
+
+    def test_restored_model_in_eval_mode(self, tmp_path):
+        model = EventHit(3, 1, config=small_config(dropout=0.3))
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        assert not restored.training
+        x = np.zeros((2, 5, 3))
+        np.testing.assert_allclose(
+            restored.predict(x).scores, restored.predict(x).scores
+        )
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not an EventHit checkpoint"):
+            load_checkpoint(path)
+
+    def test_trained_model_survives(self, tmp_path):
+        from repro.core import train_eventhit
+        from tests.core.test_trainer import synthetic_records
+
+        records = synthetic_records(b=48)
+        config = EventHitConfig(
+            window_size=6, horizon=16, lstm_hidden=8, shared_hidden=(8,),
+            head_hidden=(8,), dropout=0.0, epochs=5, batch_size=16, seed=0,
+        )
+        model, _ = train_eventhit(records, config=config)
+        path = tmp_path / "trained.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        np.testing.assert_allclose(
+            model.predict(records.covariates).scores,
+            restored.predict(records.covariates).scores,
+        )
+
+    def test_checkpoint_usable_with_conformal(self, tmp_path):
+        """Calibrating on a restored model must give identical predictions."""
+        from repro.conformal import ConformalClassifier
+        from repro.core import train_eventhit
+        from tests.core.test_trainer import synthetic_records
+
+        train = synthetic_records(b=64, seed=0)
+        calib = synthetic_records(b=48, seed=1)
+        config = EventHitConfig(
+            window_size=6, horizon=16, lstm_hidden=8, shared_hidden=(8,),
+            head_hidden=(8,), dropout=0.0, epochs=5, batch_size=16, seed=0,
+        )
+        model, _ = train_eventhit(train, config=config)
+        path = tmp_path / "m.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        a = ConformalClassifier(model).calibrate(calib)
+        b = ConformalClassifier(restored).calibrate(calib)
+        output_a = model.predict(calib.covariates)
+        output_b = restored.predict(calib.covariates)
+        np.testing.assert_allclose(a.p_values(output_a), b.p_values(output_b))

@@ -1,0 +1,122 @@
+"""Tests for DatasetBuilder and build_experiment_data."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetBuilder, build_experiment_data
+from repro.features import CovariatePipeline, extract_features
+from repro.video import make_thumos, make_virat, make_stream
+from repro.video.datasets import EVENT_TYPES
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+
+ET = EventType("gate", duration_mean=40, duration_std=4, lead_time=80)
+
+
+def tiny_stream(seed=0):
+    instances = [EventInstance(300, 339, ET), EventInstance(900, 939, ET)]
+    return VideoStream(1500, EventSchedule(1500, instances), seed=seed)
+
+
+class TestReferenceFrames:
+    def test_range_respects_window_and_horizon(self):
+        builder = DatasetBuilder(window_size=10, horizon=100, stride=1)
+        frames = builder.reference_frames(1000)
+        assert frames[0] == 9
+        assert frames[-1] == 899
+
+    def test_stride(self):
+        builder = DatasetBuilder(window_size=5, horizon=10, stride=7)
+        frames = builder.reference_frames(100)
+        assert np.all(np.diff(frames) == 7)
+
+    def test_too_short_stream_raises(self):
+        builder = DatasetBuilder(window_size=50, horizon=100)
+        with pytest.raises(ValueError):
+            builder.reference_frames(120)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetBuilder(window_size=0, horizon=10)
+        with pytest.raises(ValueError):
+            DatasetBuilder(window_size=1, horizon=10, stride=0)
+
+
+class TestBuild:
+    def build(self, stride=20, max_records=None):
+        stream = tiny_stream()
+        features = extract_features(stream, [ET])
+        builder = DatasetBuilder(window_size=8, horizon=120, stride=stride)
+        return builder.build(
+            stream, features, [ET], max_records=max_records,
+            rng=np.random.default_rng(0)
+        ), stream
+
+    def test_record_shapes(self):
+        records, _ = self.build()
+        assert records.covariates.shape[1:] == (8, 6)  # 3 per event + 3 context
+        assert records.labels.shape == (len(records), 1)
+
+    def test_labels_match_schedule(self):
+        records, stream = self.build(stride=5)
+        for i, frame in enumerate(records.frames):
+            truth = stream.schedule.first_event_in_horizon(ET, int(frame), 120)
+            assert bool(records.labels[i, 0]) == (truth is not None)
+            if truth is not None:
+                assert records.starts[i, 0] == truth.start_offset
+                assert records.ends[i, 0] == truth.end_offset
+                assert bool(records.censored[i, 0]) == truth.censored
+
+    def test_censored_events_clamped_to_horizon(self):
+        records, _ = self.build(stride=1)
+        censored_rows = records.censored[:, 0] > 0
+        assert censored_rows.any()
+        assert np.all(records.ends[censored_rows, 0] == 120)
+
+    def test_max_records_subsamples(self):
+        records, _ = self.build(stride=5, max_records=10)
+        assert len(records) == 10
+        assert np.all(np.diff(records.frames) > 0)  # sorted
+
+    def test_feature_length_mismatch_raises(self):
+        stream = tiny_stream()
+        other = tiny_stream()
+        features = extract_features(stream, [ET])
+        short = type(features)(features.values[:500], features.channel_names)
+        builder = DatasetBuilder(window_size=8, horizon=120)
+        with pytest.raises(ValueError):
+            builder.build(stream, short, [ET])
+
+
+class TestExperimentData:
+    def test_bundle_consistency(self):
+        spec = make_thumos(scale=0.05).with_events(["E7"])
+        data = build_experiment_data(spec, seed=0, max_records=50)
+        for records in (data.train, data.calibration, data.test):
+            assert records.horizon == spec.horizon
+            assert records.window_size == spec.window_size
+            assert len(records) <= 50
+        assert data.event_types == [EVENT_TYPES["E7"]]
+
+    def test_splits_are_distinct_streams(self):
+        spec = make_thumos(scale=0.05).with_events(["E7"])
+        data = build_experiment_data(spec, seed=0, max_records=30)
+        assert data.train_stream.name != data.test_stream.name
+        # Event placements differ across the splits.
+        train_starts = [i.start for i in data.train_stream.schedule.all_instances()]
+        test_starts = [i.start for i in data.test_stream.schedule.all_instances()]
+        assert train_starts != test_starts
+
+    def test_positive_records_exist(self):
+        """Sampling must produce both positive and negative records."""
+        spec = make_thumos(scale=0.08).with_events(["E7"])
+        data = build_experiment_data(spec, seed=1, max_records=200)
+        rate = data.train.positive_rate()[0]
+        assert 0.05 < rate < 0.95
+
+    def test_deterministic_given_seed(self):
+        spec = make_thumos(scale=0.05).with_events(["E7"])
+        a = build_experiment_data(spec, seed=3, max_records=20)
+        b = build_experiment_data(spec, seed=3, max_records=20)
+        np.testing.assert_array_equal(a.train.covariates, b.train.covariates)
+        np.testing.assert_array_equal(a.test.labels, b.test.labels)

@@ -1,0 +1,103 @@
+"""Tests for the multi-instance (footnote 1) occupancy targets."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetBuilder, RecordSet
+from repro.features import extract_features
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+
+ET = EventType("pulse", duration_mean=10, duration_std=1, lead_time=50)
+
+
+def dense_stream():
+    """Two instances per 100-frame horizon at known offsets."""
+    instances = [
+        EventInstance(120, 129, ET),
+        EventInstance(170, 179, ET),
+        EventInstance(320, 329, ET),
+        EventInstance(370, 379, ET),
+    ]
+    return VideoStream(600, EventSchedule(600, instances), seed=0)
+
+
+def build(multi_instance):
+    stream = dense_stream()
+    features = extract_features(stream, [ET])
+    builder = DatasetBuilder(window_size=5, horizon=100, stride=100)
+    return builder.build(stream, features, [ET], multi_instance=multi_instance), stream
+
+
+class TestBuilderMultiInstance:
+    def test_occupancy_marks_all_instances(self):
+        records, stream = build(multi_instance=True)
+        # Find the record whose horizon holds both instances (frame=104 →
+        # horizon (104, 204]).
+        row = int(np.flatnonzero(records.frames == 104)[0])
+        grid = records.frame_targets()[row, 0]
+        # offsets for instance 1: 120-104=16..25; instance 2: 66..75.
+        assert grid[15:25].all()
+        assert grid[65:75].all()
+        assert not grid[30:60].any()
+
+    def test_first_instance_intervals_unchanged(self):
+        multi, _ = build(multi_instance=True)
+        single, _ = build(multi_instance=False)
+        np.testing.assert_array_equal(multi.starts, single.starts)
+        np.testing.assert_array_equal(multi.ends, single.ends)
+        np.testing.assert_array_equal(multi.labels, single.labels)
+
+    def test_single_mode_grid_covers_first_only(self):
+        records, _ = build(multi_instance=False)
+        row = int(np.flatnonzero(records.frames == 104)[0])
+        grid = records.frame_targets()[row, 0]
+        assert grid[15:25].all()
+        assert not grid[65:75].any()
+
+    def test_subset_preserves_occupancy(self):
+        records, _ = build(multi_instance=True)
+        sub = records.subset([0, 1])
+        assert sub.occupancy is not None
+        np.testing.assert_array_equal(sub.occupancy, records.occupancy[:2])
+
+    def test_occupancy_validation(self):
+        records, _ = build(multi_instance=True)
+        bad = records.occupancy.copy()
+        absent_rows = np.flatnonzero(records.labels[:, 0] == 0)
+        if absent_rows.size:
+            bad[absent_rows[0], 0, 0] = 1.0
+            with pytest.raises(ValueError):
+                RecordSet(
+                    event_types=records.event_types,
+                    horizon=records.horizon,
+                    frames=records.frames,
+                    covariates=records.covariates,
+                    labels=records.labels,
+                    starts=records.starts,
+                    ends=records.ends,
+                    censored=records.censored,
+                    occupancy=bad,
+                )
+
+    def test_occupancy_shape_validation(self):
+        records, _ = build(multi_instance=True)
+        with pytest.raises(ValueError):
+            RecordSet(
+                event_types=records.event_types,
+                horizon=records.horizon,
+                frames=records.frames,
+                covariates=records.covariates,
+                labels=records.labels,
+                starts=records.starts,
+                ends=records.ends,
+                censored=records.censored,
+                occupancy=records.occupancy[:, :, :50],
+            )
+
+    def test_occupancy_superset_of_first_interval(self):
+        records, _ = build(multi_instance=True)
+        single, _ = build(multi_instance=False)
+        multi_grid = records.frame_targets()
+        single_grid = single.frame_targets()
+        assert np.all(multi_grid >= single_grid)

@@ -1,0 +1,152 @@
+"""Tests for RecordSet containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import RecordSet
+from repro.video.events import EventType
+
+ET = [EventType("a", 10, 1), EventType("b", 20, 2)]
+
+
+def make_records(b=6, k=2, m=4, d=3, h=10, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random((b, k)) < 0.5).astype(float)
+    starts = np.zeros((b, k), dtype=int)
+    ends = np.zeros((b, k), dtype=int)
+    for i in range(b):
+        for j in range(k):
+            if labels[i, j]:
+                starts[i, j] = rng.integers(1, h)
+                ends[i, j] = rng.integers(starts[i, j], h + 1)
+    return RecordSet(
+        event_types=ET[:k],
+        horizon=h,
+        frames=np.arange(b) * 10 + m,
+        covariates=rng.normal(size=(b, m, d)),
+        labels=labels,
+        starts=starts,
+        ends=ends,
+        censored=(ends == h).astype(float) * labels,
+    )
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        rec = make_records()
+        with pytest.raises(ValueError):
+            RecordSet(ET, 10, rec.frames, rec.covariates[:3], rec.labels,
+                      rec.starts, rec.ends, rec.censored)
+        with pytest.raises(ValueError):
+            RecordSet(ET, 10, rec.frames, rec.covariates, rec.labels[:, :1],
+                      rec.starts, rec.ends, rec.censored)
+
+    def test_offsets_range_checked(self):
+        rec = make_records()
+        bad_starts = rec.starts.copy()
+        present = np.argwhere(rec.labels > 0)
+        i, j = present[0]
+        bad_starts[i, j] = 0
+        with pytest.raises(ValueError):
+            RecordSet(rec.event_types, rec.horizon, rec.frames, rec.covariates,
+                      rec.labels, bad_starts, rec.ends, rec.censored)
+
+    def test_start_le_end_checked(self):
+        rec = make_records()
+        present = np.argwhere(rec.labels > 0)
+        i, j = present[0]
+        bad = rec.starts.copy()
+        bad[i, j] = rec.horizon
+        bad_ends = rec.ends.copy()
+        bad_ends[i, j] = 1
+        with pytest.raises(ValueError):
+            RecordSet(rec.event_types, rec.horizon, rec.frames, rec.covariates,
+                      rec.labels, bad, bad_ends, rec.censored)
+
+    def test_horizon_positive(self):
+        rec = make_records()
+        with pytest.raises(ValueError):
+            RecordSet(rec.event_types, 0, rec.frames, rec.covariates,
+                      rec.labels, rec.starts * 0, rec.ends * 0, rec.censored)
+
+
+class TestDerived:
+    def test_shapes(self):
+        rec = make_records(b=5, k=2, m=4, d=3)
+        assert len(rec) == 5
+        assert rec.num_events == 2
+        assert rec.window_size == 4
+        assert rec.num_channels == 3
+
+    def test_frame_targets_match_intervals(self):
+        rec = make_records()
+        grid = rec.frame_targets()
+        assert grid.shape == (len(rec), rec.num_events, rec.horizon)
+        for i in range(len(rec)):
+            for j in range(rec.num_events):
+                if rec.labels[i, j]:
+                    expected = np.zeros(rec.horizon)
+                    expected[rec.starts[i, j] - 1 : rec.ends[i, j]] = 1
+                    np.testing.assert_array_equal(grid[i, j], expected)
+                else:
+                    assert grid[i, j].sum() == 0
+
+    def test_positive_mask(self):
+        rec = make_records()
+        np.testing.assert_array_equal(rec.positive_mask(0), rec.labels[:, 0] > 0)
+        with pytest.raises(IndexError):
+            rec.positive_mask(5)
+
+    def test_positive_rate(self):
+        rec = make_records()
+        np.testing.assert_allclose(rec.positive_rate(), rec.labels.mean(axis=0))
+
+
+class TestSubsetting:
+    def test_subset_picks_rows(self):
+        rec = make_records()
+        sub = rec.subset([0, 2])
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.frames, rec.frames[[0, 2]])
+        np.testing.assert_array_equal(sub.labels, rec.labels[[0, 2]])
+
+    def test_split_partitions(self):
+        rec = make_records(b=10)
+        a, b = rec.split(0.7, rng=np.random.default_rng(0))
+        assert len(a) == 7 and len(b) == 3
+        assert set(a.frames) | set(b.frames) == set(rec.frames)
+        assert not set(a.frames) & set(b.frames)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            make_records().split(1.0)
+
+    def test_split_never_empty(self):
+        rec = make_records(b=2)
+        a, b = rec.split(0.99, rng=np.random.default_rng(0))
+        assert len(a) >= 1 and len(b) >= 1
+
+    def test_batches_cover_all(self):
+        rec = make_records(b=10)
+        batches = list(rec.batches(3, rng=np.random.default_rng(0)))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        seen = np.concatenate([b.frames for b in batches])
+        assert set(seen) == set(rec.frames)
+
+    def test_batches_unshuffled_order(self):
+        rec = make_records(b=6)
+        batches = list(rec.batches(2))
+        np.testing.assert_array_equal(batches[0].frames, rec.frames[:2])
+
+    def test_batches_validation(self):
+        with pytest.raises(ValueError):
+            list(make_records().batches(0))
+
+    @given(st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_batches_sizes_sum(self, batch_size):
+        rec = make_records(b=12)
+        total = sum(len(b) for b in rec.batches(batch_size))
+        assert total == 12

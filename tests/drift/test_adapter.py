@@ -1,0 +1,198 @@
+"""Tests for the adaptive marshaller (audit sampling + recalibration)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudInferenceService
+from repro.conformal import ConformalClassifier, ConformalRegressor
+from repro.core import EventHitConfig, train_eventhit
+from repro.data import DatasetBuilder, build_experiment_data
+from repro.drift import AdaptiveMarshaller, AuditBuffer, MissRateCusum
+from repro.features import CovariatePipeline, FeatureExtractor
+from repro.video import make_thumos
+from repro.video.datasets import EVENT_TYPES
+from repro.video.events import EventType
+
+CONFIG = EventHitConfig(
+    window_size=10, horizon=200, lstm_hidden=16, shared_hidden=(16,),
+    head_hidden=(32,), dropout=0.0, learning_rate=5e-3, epochs=12,
+    batch_size=32, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = make_thumos(scale=0.08).with_events(["E7"])
+    data = build_experiment_data(spec, seed=0, max_records=200, stride=15)
+    model, _ = train_eventhit(data.train, config=CONFIG)
+    classifier = ConformalClassifier(model).calibrate(data.calibration)
+    regressor = ConformalRegressor(model).calibrate(data.calibration)
+    pipeline = CovariatePipeline(spec.window_size, standardizer=data.standardizer)
+    return spec, data, model, classifier, regressor, pipeline
+
+
+class TestAuditBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AuditBuffer([EVENT_TYPES["E7"]], horizon=200, maxlen=0)
+        empty = AuditBuffer([EVENT_TYPES["E7"]], horizon=200)
+        with pytest.raises(ValueError):
+            empty.to_records()
+
+    def test_sliding_window(self):
+        buffer = AuditBuffer([EVENT_TYPES["E7"]], horizon=10, maxlen=2)
+        for i in range(4):
+            buffer.add(i, np.zeros((3, 2)), np.array([1.0]),
+                       np.array([2]), np.array([4]), np.array([0.0]))
+        assert len(buffer) == 2
+        records = buffer.to_records()
+        np.testing.assert_array_equal(records.frames, [2, 3])
+
+    def test_readiness(self):
+        buffer = AuditBuffer([EVENT_TYPES["E7"]], horizon=10, maxlen=10)
+        assert not buffer.ready_for_calibration()
+        for i in range(3):
+            buffer.add(i, np.zeros((3, 2)), np.array([1.0]),
+                       np.array([1]), np.array([4]), np.array([0.0]))
+        assert buffer.ready_for_calibration(min_positives=3)
+        assert not buffer.ready_for_calibration(min_positives=4)
+
+    def test_positives_per_event(self):
+        buffer = AuditBuffer([EVENT_TYPES["E7"], EVENT_TYPES["E8"]], horizon=10)
+        buffer.add(0, np.zeros((3, 2)), np.array([1.0, 0.0]),
+                   np.array([1, 0]), np.array([2, 0]), np.array([0.0, 0.0]))
+        np.testing.assert_array_equal(buffer.positives_per_event(), [1, 0])
+
+
+class TestAdaptiveMarshallerValidation:
+    def test_requires_calibrated_components(self, setup):
+        spec, data, model, classifier, regressor, pipeline = setup
+        with pytest.raises(ValueError):
+            AdaptiveMarshaller(
+                model, data.event_types, pipeline,
+                ConformalClassifier(model), regressor,
+            )
+
+    def test_knob_validation(self, setup):
+        spec, data, model, classifier, regressor, pipeline = setup
+        with pytest.raises(ValueError):
+            AdaptiveMarshaller(model, data.event_types, pipeline,
+                               classifier, regressor, audit_rate=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveMarshaller(model, data.event_types, pipeline,
+                               classifier, regressor, min_positives=0)
+        with pytest.raises(ValueError):
+            AdaptiveMarshaller(model, [], pipeline, classifier, regressor)
+
+
+class TestAdaptiveRunStationary:
+    def test_stationary_run_rarely_recalibrates(self, setup):
+        spec, data, model, classifier, regressor, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = AdaptiveMarshaller(
+            model, data.event_types, pipeline, classifier, regressor,
+            confidence=0.95, alpha=0.9, audit_rate=0.2, seed=0,
+        )
+        report = marshaller.run(data.test_stream, data.test_features, service)
+        assert report.horizons_evaluated > 0
+        assert report.horizons_audited > 0
+        # Exchangeable deployment: the guarantee holds, CUSUM stays quiet.
+        assert report.recalibrations <= 1
+        assert report.frame_recall > 0.5
+
+    def test_audit_rate_zero_never_audits(self, setup):
+        spec, data, model, classifier, regressor, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = AdaptiveMarshaller(
+            model, data.event_types, pipeline, classifier, regressor,
+            audit_rate=0.0, seed=0,
+        )
+        report = marshaller.run(data.test_stream, data.test_features, service,
+                                max_horizons=10)
+        assert report.horizons_audited == 0
+        assert report.recalibrations == 0
+
+    def test_audit_rate_one_audits_everything(self, setup):
+        spec, data, model, classifier, regressor, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = AdaptiveMarshaller(
+            model, data.event_types, pipeline, classifier, regressor,
+            audit_rate=1.0, seed=0,
+        )
+        report = marshaller.run(data.test_stream, data.test_features, service,
+                                max_horizons=5)
+        assert report.horizons_audited == 5
+        # Full audit = full relay = perfect recall on covered horizons.
+        assert report.frame_recall == pytest.approx(1.0)
+
+    def test_billing_consistency(self, setup):
+        spec, data, model, classifier, regressor, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = AdaptiveMarshaller(
+            model, data.event_types, pipeline, classifier, regressor,
+            audit_rate=0.3, seed=1,
+        )
+        report = marshaller.run(data.test_stream, data.test_features, service)
+        assert report.frames_relayed == service.ledger.frames_processed
+        assert report.total_cost == pytest.approx(service.ledger.total_cost)
+
+
+class TestAdaptiveRunUnderDrift:
+    def _drifted_stream(self, spec, seed=9):
+        """A deployment stream whose event dynamics changed after training:
+        shorter lead time and weaker precursor (camera moved / new layout)."""
+        from repro.video.datasets import build_schedule
+        from repro.video.stream import VideoStream
+        import zlib
+
+        drifted_type = EventType(
+            name="E7",
+            duration_mean=EVENT_TYPES["E7"].duration_mean,
+            duration_std=EVENT_TYPES["E7"].duration_std,
+            lead_time=60,  # trained world had 440
+            predictability=0.35,
+        )
+        rng = np.random.default_rng(zlib.crc32(b"drift") + seed)
+        # Rebuild the schedule with the drifted event type.
+        from repro.video.arrivals import FixedCountArrivals
+        from repro.video.events import EventInstance, EventSchedule
+
+        count = spec.occurrences["E7"]
+        min_gap = int(drifted_type.duration_mean + 3 * drifted_type.duration_std) + 2
+        onsets = FixedCountArrivals(count, min_gap).sample(spec.length, rng)
+        instances = []
+        for i, onset in enumerate(onsets):
+            duration = drifted_type.sample_duration(rng)
+            nxt = onsets[i + 1] if i + 1 < len(onsets) else spec.length
+            end = min(onset + duration - 1, nxt - 1, spec.length - 1)
+            if end >= onset:
+                instances.append(EventInstance(onset, end, drifted_type))
+        schedule = EventSchedule(spec.length, instances)
+        return VideoStream(spec.length, schedule, seed=seed, name="drifted"), drifted_type
+
+    def test_drift_triggers_recalibration_and_recovers_recall(self, setup):
+        spec, data, model, classifier_ref, regressor_ref, pipeline = setup
+        stream, drifted_type = self._drifted_stream(spec)
+        extractor = FeatureExtractor()
+        features = extractor.extract(stream, [drifted_type])
+
+        def run(audit_rate):
+            classifier = ConformalClassifier(model).calibrate(data.calibration)
+            regressor = ConformalRegressor(model).calibrate(data.calibration)
+            service = CloudInferenceService(stream)
+            marshaller = AdaptiveMarshaller(
+                model, data.event_types, pipeline, classifier, regressor,
+                confidence=0.95, alpha=0.9, audit_rate=audit_rate,
+                min_positives=3, seed=3,
+                cusum=MissRateCusum(budget=0.05, slack=0.05, threshold=2.0),
+            )
+            return marshaller.run(stream, features, service)
+
+        adaptive = run(audit_rate=0.25)
+        frozen = run(audit_rate=0.0)
+
+        # The drifted world breaks the trained model; audits must notice.
+        assert adaptive.audited_misses > 0 or adaptive.recalibrations > 0
+        # Adaptation (recalibration + audit coverage) recovers recall that
+        # the frozen deployment loses.
+        assert adaptive.frame_recall > frozen.frame_recall

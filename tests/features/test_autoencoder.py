@@ -1,0 +1,107 @@
+"""Tests for the autoencoder dimensionality reducer."""
+
+import numpy as np
+import pytest
+
+from repro.features import Autoencoder, AutoencoderReducer, FeatureMatrix
+from repro.nn import Tensor
+
+
+def correlated_features(n=1500, seed=0, mixing_seed=42):
+    """Six channels spanned by a 2-D latent process + small noise.
+
+    The mixing matrix is fixed by ``mixing_seed`` so different ``seed``
+    values are fresh draws from the *same* generative process.
+    """
+    rng = np.random.default_rng(seed)
+    mixing = np.random.default_rng(mixing_seed).normal(size=(2, 6))
+    latent = rng.normal(size=(n, 2))
+    values = latent @ mixing + rng.normal(0, 0.05, size=(n, 6))
+    return FeatureMatrix(values, [f"f{i}" for i in range(6)])
+
+
+class TestAutoencoder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autoencoder(num_features=0, latent_dim=1)
+        with pytest.raises(ValueError):
+            Autoencoder(num_features=4, latent_dim=4)
+
+    def test_forward_shape(self):
+        ae = Autoencoder(6, 2, rng=np.random.default_rng(0))
+        out = ae(Tensor(np.zeros((5, 6))))
+        assert out.shape == (5, 6)
+
+    def test_encode_shape_and_batching(self):
+        ae = Autoencoder(6, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(100, 6))
+        full = ae.encode(x, batch_size=1000)
+        chunked = ae.encode(x, batch_size=7)
+        assert full.shape == (100, 2)
+        np.testing.assert_allclose(full, chunked)
+
+    def test_encode_validates_input(self):
+        ae = Autoencoder(6, 2)
+        with pytest.raises(ValueError):
+            ae.encode(np.zeros((5, 4)))
+
+    def test_encode_restores_mode(self):
+        ae = Autoencoder(6, 2)
+        ae.train()
+        ae.encode(np.zeros((3, 6)))
+        assert ae.training
+
+
+class TestAutoencoderReducer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoencoderReducer(latent_dim=2, epochs=0)
+        with pytest.raises(ValueError):
+            AutoencoderReducer(latent_dim=2, learning_rate=0)
+
+    def test_requires_fit(self):
+        reducer = AutoencoderReducer(latent_dim=2)
+        with pytest.raises(RuntimeError):
+            reducer.transform(correlated_features())
+        with pytest.raises(RuntimeError):
+            reducer.reconstruction_error(correlated_features())
+
+    def test_training_reduces_loss(self):
+        reducer = AutoencoderReducer(latent_dim=2, epochs=20, seed=0,
+                                     learning_rate=3e-3)
+        reducer.fit(correlated_features())
+        assert reducer.history.losses[-1] < reducer.history.losses[0] * 0.5
+
+    def test_transform_shape_and_names(self):
+        reducer = AutoencoderReducer(latent_dim=2, epochs=10, seed=0)
+        features = correlated_features()
+        reduced = reducer.fit(features).transform(features)
+        assert reduced.values.shape == (features.num_frames, 2)
+        assert reduced.channel_names == ["latent:0", "latent:1"]
+
+    def test_low_rank_data_reconstructs_well(self):
+        """2-D latent data through a 2-D bottleneck: low residual error,
+        far below the per-channel variance."""
+        features = correlated_features()
+        reducer = AutoencoderReducer(latent_dim=2, epochs=40, seed=0,
+                                     learning_rate=3e-3)
+        reducer.fit(features)
+        error = reducer.reconstruction_error(features)
+        variance = features.values.var()
+        assert error < 0.25 * variance
+
+    def test_generalises_to_fresh_sample(self):
+        train = correlated_features(seed=0)
+        test = correlated_features(seed=1)
+        reducer = AutoencoderReducer(latent_dim=2, epochs=40, seed=0,
+                                     learning_rate=3e-3)
+        reducer.fit(train)
+        train_err = reducer.reconstruction_error(train)
+        test_err = reducer.reconstruction_error(test)
+        assert test_err < train_err * 3
+
+    def test_deterministic_given_seed(self):
+        features = correlated_features()
+        a = AutoencoderReducer(latent_dim=2, epochs=3, seed=7).fit(features)
+        b = AutoencoderReducer(latent_dim=2, epochs=3, seed=7).fit(features)
+        np.testing.assert_allclose(a.history.losses, b.history.losses)

@@ -1,0 +1,88 @@
+"""Tests for the simulated object detector."""
+
+import numpy as np
+import pytest
+
+from repro.features import DETECTOR_PROFILES, DetectorProfile, SimulatedObjectDetector
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+
+ET = EventType("gate", duration_mean=50, duration_std=5, lead_time=100)
+
+
+def make_stream(seed=0):
+    sched = EventSchedule(
+        2000, [EventInstance(500, 599, ET), EventInstance(1500, 1549, ET)]
+    )
+    return VideoStream(2000, sched, seed=seed)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(DETECTOR_PROFILES) == {"yolov3", "faster-rcnn", "action-detector"}
+        assert DETECTOR_PROFILES["yolov3"].fps > DETECTOR_PROFILES["faster-rcnn"].fps
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            DetectorProfile("x", fps=0)
+        with pytest.raises(ValueError):
+            DetectorProfile("x", fps=10, event_rate=0)
+
+    def test_unknown_profile_name(self):
+        with pytest.raises(ValueError):
+            SimulatedObjectDetector("ssd")
+
+    def test_precursor_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedObjectDetector(precursor_fraction=0.0)
+
+
+class TestRatesAndCounts:
+    def test_rates_elevated_during_event(self):
+        det = SimulatedObjectDetector()
+        rates = det.detection_rates(make_stream(), ET)
+        assert rates[550] == pytest.approx(det.profile.event_rate)
+        assert rates[100] == pytest.approx(det.profile.background_rate)
+
+    def test_rates_ramp_before_onset(self):
+        det = SimulatedObjectDetector(precursor_fraction=0.5)  # window = 50
+        rates = det.detection_rates(make_stream(), ET)
+        assert rates[480] > rates[440]  # rising toward the onset at 500
+        assert rates[440] == pytest.approx(det.profile.background_rate)
+
+    def test_counts_nonnegative_ints(self):
+        det = SimulatedObjectDetector()
+        counts = det.counts(make_stream(), ET)
+        assert counts.min() >= 0
+        assert counts.dtype.kind in "iu"
+
+    def test_counts_deterministic_per_stream(self):
+        det = SimulatedObjectDetector()
+        a = det.counts(make_stream(seed=3), ET)
+        b = det.counts(make_stream(seed=3), ET)
+        np.testing.assert_array_equal(a, b)
+
+    def test_counts_vary_with_seed(self):
+        det = SimulatedObjectDetector()
+        a = det.counts(make_stream(seed=1), ET)
+        b = det.counts(make_stream(seed=2), ET)
+        assert not np.array_equal(a, b)
+
+    def test_event_frames_have_higher_mean_counts(self):
+        det = SimulatedObjectDetector()
+        stream = make_stream()
+        counts = det.counts(stream, ET)
+        mask = stream.schedule.occupancy_mask(ET)
+        assert counts[mask].mean() > counts[~mask].mean() * 2
+
+    def test_count_matrix_shape(self):
+        et2 = EventType("crowd", duration_mean=30, duration_std=3)
+        sched = EventSchedule(1000, [EventInstance(100, 150, ET)])
+        stream = VideoStream(1000, sched)
+        det = SimulatedObjectDetector()
+        matrix = det.count_matrix(stream, [ET, et2])
+        assert matrix.shape == (1000, 2)
+
+    def test_count_matrix_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SimulatedObjectDetector().count_matrix(make_stream(), [])

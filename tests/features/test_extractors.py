@@ -1,0 +1,134 @@
+"""Tests for covariate channel extraction."""
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureExtractor, FeatureMatrix, extract_features
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+
+ET = EventType("gate", duration_mean=60, duration_std=5, lead_time=100,
+               predictability=0.95)
+ET_HARD = EventType("lurk", duration_mean=60, duration_std=50, lead_time=100,
+                    predictability=0.4)
+
+
+def make_stream(event_type=ET, seed=0, length=3000):
+    instances = [
+        EventInstance(800, 859, event_type),
+        EventInstance(2000, 2059, event_type),
+    ]
+    return VideoStream(length, EventSchedule(length, instances), seed=seed)
+
+
+class TestFeatureMatrix:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(np.zeros(5), ["a"])
+        with pytest.raises(ValueError):
+            FeatureMatrix(np.zeros((5, 2)), ["a"])
+
+    def test_channel_lookup(self):
+        fm = FeatureMatrix(np.arange(10.0).reshape(5, 2), ["a", "b"])
+        np.testing.assert_array_equal(fm.channel("b"), [1, 3, 5, 7, 9])
+        with pytest.raises(KeyError):
+            fm.channel("zzz")
+
+    def test_select_subset(self):
+        fm = FeatureMatrix(np.arange(15.0).reshape(5, 3), ["a", "b", "c"])
+        sub = fm.select(["c", "a"])
+        assert sub.channel_names == ["c", "a"]
+        np.testing.assert_array_equal(sub.values[:, 0], fm.channel("c"))
+
+
+class TestChannels:
+    def test_precursor_rises_toward_onset(self):
+        extractor = FeatureExtractor()
+        channel = extractor.precursor_channel(make_stream(), ET)
+        # Average over windows to tame noise.
+        far = channel[600:650].mean()  # 150-200 frames before onset at 800
+        near = channel[760:800].mean()  # 0-40 frames before onset
+        assert near > far + 0.3
+
+    def test_precursor_zero_far_from_events(self):
+        extractor = FeatureExtractor()
+        channel = extractor.precursor_channel(make_stream(), ET)
+        assert abs(channel[:500].mean()) < 0.1
+
+    def test_presence_high_during_event(self):
+        extractor = FeatureExtractor()
+        channel = extractor.presence_channel(make_stream(), ET)
+        assert channel[800:860].mean() > 0.8
+        assert abs(channel[:700].mean()) < 0.1
+
+    def test_noise_scales_with_predictability(self):
+        extractor = FeatureExtractor()
+        assert extractor._noise_sigma(ET_HARD) > extractor._noise_sigma(ET) * 2
+
+    def test_count_channel_normalised(self):
+        extractor = FeatureExtractor()
+        channel = extractor.count_channel(make_stream(), ET)
+        assert channel[800:860].mean() > 3 * channel[:600].mean()
+
+    def test_context_channels_shape_and_bounds(self):
+        extractor = FeatureExtractor(context_channels=5)
+        ctx = extractor.context_channel_matrix(make_stream())
+        assert ctx.shape == (3000, 5)
+        assert np.all(np.abs(ctx[:, 0]) <= 1.0)  # tanh random walk
+        assert np.all(np.abs(ctx[:, 1]) <= 1.0)  # sinusoid
+
+    def test_zero_context_channels(self):
+        extractor = FeatureExtractor(context_channels=0)
+        assert extractor.context_channel_matrix(make_stream()).shape == (3000, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(context_channels=-1)
+        with pytest.raises(ValueError):
+            FeatureExtractor(duration_coupling=2.0)
+
+
+class TestDurationCoupling:
+    def test_amplitude_tracks_duration_percentile(self):
+        event_type = EventType("x", duration_mean=50, duration_std=20,
+                               lead_time=100, predictability=1.0)
+        short = EventInstance(500, 519, event_type)  # 20 frames
+        long = EventInstance(2000, 2099, event_type)  # 100 frames
+        stream = VideoStream(3000, EventSchedule(3000, [short, long]))
+        extractor = FeatureExtractor(duration_coupling=1.0)
+        amp = extractor._duration_amplitudes(stream, event_type)
+        assert amp[400] < 1.0 < amp[1900]  # short upcoming vs long upcoming
+
+    def test_no_coupling_uniform_amplitude(self):
+        extractor = FeatureExtractor(duration_coupling=0.0)
+        amp = extractor._duration_amplitudes(make_stream(), ET)
+        np.testing.assert_array_equal(amp, np.ones(3000))
+
+
+class TestExtract:
+    def test_channel_layout(self):
+        fm = extract_features(make_stream(), [ET], context_channels=2)
+        assert fm.channel_names == [
+            "precursor:gate",
+            "presence:gate",
+            "count:gate",
+            "context:0",
+            "context:1",
+        ]
+        assert fm.values.shape == (3000, 5)
+
+    def test_multi_event_layout(self):
+        et2 = EventType("crowd", duration_mean=30, duration_std=3)
+        sched = EventSchedule(1000, [])
+        stream = VideoStream(1000, sched)
+        fm = extract_features(stream, [ET, et2], context_channels=1)
+        assert fm.num_channels == 7
+
+    def test_rejects_empty_event_list(self):
+        with pytest.raises(ValueError):
+            extract_features(make_stream(), [])
+
+    def test_deterministic(self):
+        a = extract_features(make_stream(seed=4), [ET])
+        b = extract_features(make_stream(seed=4), [ET])
+        np.testing.assert_array_equal(a.values, b.values)

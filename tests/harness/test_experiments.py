@@ -1,0 +1,104 @@
+"""Tests for the experiment runner and curve utilities."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    CurvePoint,
+    ExperimentSettings,
+    min_spl_at_rec,
+    pareto_frontier,
+    run_experiment,
+)
+from repro.metrics import EvaluationSummary
+
+
+FAST = ExperimentSettings(scale=0.05, max_records=120, epochs=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment("TA10", settings=FAST)
+
+
+class TestRunExperiment:
+    def test_builds_all_parts(self, experiment):
+        assert experiment.model.num_events == 1
+        assert experiment.classifier.is_calibrated
+        assert experiment.regressor.is_calibrated
+        assert experiment.task.task_id == "TA10"
+
+    def test_predictors_cached(self, experiment):
+        assert experiment.predictor("EHO") is experiment.predictor("eho")
+
+    def test_unknown_predictor(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.predictor("NOSCOPE")
+
+    def test_reference_algorithms_exact(self, experiment):
+        opt = experiment.evaluate("OPT")
+        bf = experiment.evaluate("BF")
+        assert opt.rec == 1.0 and opt.spl == 0.0
+        assert bf.rec == 1.0 and bf.spl == pytest.approx(1.0)
+
+    def test_evaluate_returns_summary(self, experiment):
+        summary = experiment.evaluate("EHO")
+        assert isinstance(summary, EvaluationSummary)
+        assert 0 <= summary.spl <= 1
+
+    def test_curve_sweeps_knob(self, experiment):
+        points = experiment.curve("EHC", "confidence", [0.5, 0.9, 1.0])
+        assert len(points) == 3
+        recs = [p.summary.rec_c for p in points]
+        assert recs == sorted(recs)
+
+    def test_ehcr_grid_size(self, experiment):
+        points = experiment.ehcr_grid([0.8, 1.0], [0.5, 1.0])
+        assert len(points) == 4
+
+    def test_ehcr_max_knobs_reach_full_recall(self, experiment):
+        summary = experiment.evaluate("EHCR", confidence=1.0, alpha=1.0)
+        assert summary.rec == pytest.approx(1.0)
+
+    def test_app_vae_only_on_breakfast_data_requirement(self, experiment):
+        """APP-VAE needs the stream; the harness wires it automatically."""
+        summary = experiment.evaluate("APP-VAE")
+        assert 0.0 <= summary.spl <= 1.0
+
+
+class TestSettings:
+    def test_model_config_derivation(self):
+        settings = ExperimentSettings(epochs=5, lstm_hidden=8)
+        config = settings.model_config(window_size=10, horizon=100)
+        assert config.epochs == 5
+        assert config.lstm_hidden == 8
+        assert config.window_size == 10
+        assert config.horizon == 100
+
+
+def point(rec, spl):
+    summary = EvaluationSummary(rec=rec, spl=spl, rec_c=rec, rec_r=rec,
+                                prec_c=rec, frames_relayed=0)
+    return CurvePoint(knobs={}, summary=summary)
+
+
+class TestCurveUtilities:
+    def test_min_spl_at_rec(self):
+        points = [point(0.5, 0.1), point(0.8, 0.3), point(0.9, 0.6),
+                  point(0.9, 0.5)]
+        assert min_spl_at_rec(points, 0.8) == pytest.approx(0.3)
+        assert min_spl_at_rec(points, 0.85) == pytest.approx(0.5)
+
+    def test_min_spl_unreachable_nan(self):
+        assert np.isnan(min_spl_at_rec([point(0.5, 0.1)], 0.99))
+
+    def test_pareto_frontier(self):
+        points = [point(0.5, 0.1), point(0.4, 0.2), point(0.9, 0.5),
+                  point(0.8, 0.6)]
+        frontier = pareto_frontier(points)
+        recs = [p.rec for p in frontier]
+        spls = [p.spl for p in frontier]
+        assert recs == sorted(recs)
+        assert spls == sorted(spls)
+        assert (0.4, 0.2) not in [(p.rec, p.spl) for p in frontier]
+        assert (0.8, 0.6) not in [(p.rec, p.spl) for p in frontier]

@@ -1,0 +1,56 @@
+"""Tests for the Table II task definitions."""
+
+import pytest
+
+from repro.harness import REPRESENTATIVE_TASKS, TASKS, Task, get_task
+
+
+class TestTaskTable:
+    def test_sixteen_tasks(self):
+        assert len(TASKS) == 16
+        assert set(TASKS) == {f"TA{i}" for i in range(1, 17)}
+
+    def test_table2_event_sets(self):
+        assert TASKS["TA1"].event_ids == ("E1",)
+        assert TASKS["TA7"].event_ids == ("E1", "E5")
+        assert TASKS["TA8"].event_ids == ("E5", "E6")
+        assert TASKS["TA9"].event_ids == ("E1", "E5", "E6")
+        assert TASKS["TA15"].event_ids == ("E11", "E12")
+        assert TASKS["TA16"].event_ids == ("E10", "E12")
+
+    def test_dataset_assignment(self):
+        for i in range(1, 10):
+            assert TASKS[f"TA{i}"].dataset == "virat"
+        for i in range(10, 13):
+            assert TASKS[f"TA{i}"].dataset == "thumos"
+        for i in range(13, 17):
+            assert TASKS[f"TA{i}"].dataset == "breakfast"
+
+    def test_groups(self):
+        assert TASKS["TA1"].group == 1
+        assert TASKS["TA5"].group == 2  # E5 is Group 2
+        assert TASKS["TA7"].group == 2  # contains E5
+        assert TASKS["TA10"].group == 1
+
+    def test_multi_event_flag(self):
+        assert not TASKS["TA1"].is_multi_event
+        assert TASKS["TA9"].is_multi_event
+        assert TASKS["TA9"].num_events == 3
+
+    def test_representative_tasks_exist(self):
+        assert set(REPRESENTATIVE_TASKS) <= set(TASKS)
+
+    def test_spec_restricts_events(self):
+        spec = TASKS["TA7"].spec(scale=0.1)
+        assert spec.event_ids == ("E1", "E5")
+
+    def test_get_task_case_insensitive(self):
+        assert get_task("ta3") is TASKS["TA3"]
+
+    def test_get_task_unknown(self):
+        with pytest.raises(ValueError):
+            get_task("TA99")
+
+    def test_task_requires_events(self):
+        with pytest.raises(ValueError):
+            Task("TAX", "virat", ())

@@ -1,0 +1,218 @@
+"""Tests for REC / SPL / REC_c / REC_r (Eqs. 12-13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import PredictionBatch
+from repro.data import RecordSet
+from repro.metrics import (
+    eta_matrix,
+    evaluate,
+    existence_precision,
+    existence_recall,
+    interval_recall,
+    recall,
+    spillage,
+)
+from repro.video.events import EventType
+
+H = 20
+ET = [EventType("a", 5, 1)]
+
+
+def records_with(labels, starts, ends):
+    labels = np.asarray(labels, dtype=float)
+    b, k = labels.shape
+    return RecordSet(
+        event_types=ET * k,
+        horizon=H,
+        frames=np.arange(b),
+        covariates=np.zeros((b, 2, 1)),
+        labels=labels,
+        starts=np.asarray(starts),
+        ends=np.asarray(ends),
+        censored=np.zeros((b, k)),
+    )
+
+
+def batch_with(exists, starts, ends):
+    return PredictionBatch(
+        exists=np.asarray(exists, dtype=bool),
+        starts=np.asarray(starts),
+        ends=np.asarray(ends),
+        horizon=H,
+    )
+
+
+class TestEta:
+    def test_perfect_overlap(self):
+        rec = records_with([[1]], [[5]], [[9]])
+        pred = batch_with([[True]], [[5]], [[9]])
+        np.testing.assert_allclose(eta_matrix(pred, rec), [[1.0]])
+
+    def test_partial_overlap(self):
+        rec = records_with([[1]], [[5]], [[14]])  # length 10
+        pred = batch_with([[True]], [[10]], [[20]])  # overlap 10..14 = 5
+        np.testing.assert_allclose(eta_matrix(pred, rec), [[0.5]])
+
+    def test_no_overlap(self):
+        rec = records_with([[1]], [[1]], [[4]])
+        pred = batch_with([[True]], [[10]], [[20]])
+        np.testing.assert_allclose(eta_matrix(pred, rec), [[0.0]])
+
+    def test_predicted_absent_is_zero(self):
+        rec = records_with([[1]], [[5]], [[9]])
+        pred = batch_with([[False]], [[0]], [[0]])
+        np.testing.assert_allclose(eta_matrix(pred, rec), [[0.0]])
+
+    def test_event_absent_is_zero(self):
+        rec = records_with([[0]], [[0]], [[0]])
+        pred = batch_with([[True]], [[1]], [[20]])
+        np.testing.assert_allclose(eta_matrix(pred, rec), [[0.0]])
+
+    def test_shape_mismatch_raises(self):
+        rec = records_with([[1]], [[5]], [[9]])
+        pred = PredictionBatch(np.array([[True, False]]),
+                               np.array([[1, 0]]), np.array([[2, 0]]), H)
+        with pytest.raises(ValueError):
+            eta_matrix(pred, rec)
+
+    def test_horizon_mismatch_raises(self):
+        rec = records_with([[1]], [[5]], [[9]])
+        pred = PredictionBatch(np.array([[True]]), np.array([[1]]),
+                               np.array([[2]]), horizon=50)
+        with pytest.raises(ValueError):
+            recall(pred, rec)
+
+
+class TestRecall:
+    def test_oracle_recall_one(self):
+        rec = records_with([[1], [1], [0]], [[2], [8], [0]], [[6], [12], [0]])
+        pred = batch_with([[True], [True], [False]],
+                          [[2], [8], [0]], [[6], [12], [0]])
+        assert recall(pred, rec) == 1.0
+
+    def test_half_covered(self):
+        rec = records_with([[1], [1]], [[1], [1]], [[10], [10]])
+        pred = batch_with([[True], [False]], [[1], [0]], [[10], [0]])
+        assert recall(pred, rec) == pytest.approx(0.5)
+
+    def test_no_present_events_nan(self):
+        rec = records_with([[0]], [[0]], [[0]])
+        pred = batch_with([[False]], [[0]], [[0]])
+        assert np.isnan(recall(pred, rec))
+
+    def test_only_present_counted(self):
+        rec = records_with([[1], [0]], [[1], [0]], [[4], [0]])
+        pred = batch_with([[True], [True]], [[1], [1]], [[4], [20]])
+        assert recall(pred, rec) == 1.0
+
+
+class TestSpillage:
+    def test_brute_force_spillage_one(self):
+        rec = records_with([[0], [0]], [[0], [0]], [[0], [0]])
+        pred = batch_with([[True], [True]], [[1], [1]], [[H], [H]])
+        assert spillage(pred, rec) == pytest.approx(1.0)
+
+    def test_oracle_spillage_zero(self):
+        rec = records_with([[1]], [[3]], [[7]])
+        pred = batch_with([[True]], [[3]], [[7]])
+        assert spillage(pred, rec) == 0.0
+
+    def test_predict_nothing_zero(self):
+        rec = records_with([[1]], [[3]], [[7]])
+        pred = batch_with([[False]], [[0]], [[0]])
+        assert spillage(pred, rec) == 0.0
+
+    def test_true_positive_excess(self):
+        # true 5 frames [3,7]; pred [1,10] = 10 frames, excess 5, non-event 15
+        rec = records_with([[1]], [[3]], [[7]])
+        pred = batch_with([[True]], [[1]], [[10]])
+        assert spillage(pred, rec) == pytest.approx(5 / 15)
+
+    def test_false_positive_normalised_by_horizon(self):
+        rec = records_with([[0]], [[0]], [[0]])
+        pred = batch_with([[True]], [[1]], [[5]])
+        assert spillage(pred, rec) == pytest.approx(5 / H)
+
+    def test_full_horizon_event_contributes_zero(self):
+        rec = records_with([[1]], [[1]], [[H]])
+        pred = batch_with([[True]], [[1]], [[H]])
+        assert spillage(pred, rec) == 0.0
+
+    def test_averaged_over_records_and_events(self):
+        rec = records_with([[0], [0]], [[0], [0]], [[0], [0]])
+        pred = batch_with([[True], [False]], [[1], [0]], [[H], [0]])
+        assert spillage(pred, rec) == pytest.approx(0.5)
+
+
+class TestComponentMeasures:
+    def test_existence_recall(self):
+        rec = records_with([[1], [1], [0]], [[1], [1], [0]], [[2], [2], [0]])
+        pred = batch_with([[True], [False], [True]],
+                          [[1], [0], [5]], [[2], [0], [9]])
+        assert existence_recall(pred, rec) == pytest.approx(0.5)
+
+    def test_existence_precision(self):
+        rec = records_with([[1], [0]], [[1], [0]], [[2], [0]])
+        pred = batch_with([[True], [True]], [[1], [1]], [[2], [2]])
+        assert existence_precision(pred, rec) == pytest.approx(0.5)
+
+    def test_existence_precision_nan_when_nothing_predicted(self):
+        rec = records_with([[1]], [[1]], [[2]])
+        pred = batch_with([[False]], [[0]], [[0]])
+        assert np.isnan(existence_precision(pred, rec))
+
+    def test_interval_recall_conditions_on_tp(self):
+        # Two present events; only one predicted; its overlap is 50%.
+        rec = records_with([[1], [1]], [[1], [1]], [[10], [10]])
+        pred = batch_with([[True], [False]], [[6], [0]], [[15], [0]])
+        assert interval_recall(pred, rec) == pytest.approx(0.5)
+        # REC averages over both present events: 0.25.
+        assert recall(pred, rec) == pytest.approx(0.25)
+
+    def test_interval_recall_nan_without_tp(self):
+        rec = records_with([[1]], [[1]], [[5]])
+        pred = batch_with([[False]], [[0]], [[0]])
+        assert np.isnan(interval_recall(pred, rec))
+
+
+class TestEvaluate:
+    def test_summary_fields(self):
+        rec = records_with([[1], [0]], [[3], [0]], [[7], [0]])
+        pred = batch_with([[True], [False]], [[3], [0]], [[7], [0]])
+        summary = evaluate(pred, rec)
+        assert summary.rec == 1.0
+        assert summary.spl == 0.0
+        assert summary.rec_c == 1.0
+        assert summary.rec_r == 1.0
+        assert summary.prec_c == 1.0
+        assert summary.frames_relayed == 5
+        assert set(summary.as_dict()) == {
+            "REC", "SPL", "REC_c", "REC_r", "PREC_c", "frames_relayed"
+        }
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_metrics_bounded(self, seed):
+        """REC, SPL, REC_c, REC_r, PREC_c all lie in [0, 1] (or NaN)."""
+        rng = np.random.default_rng(seed)
+        b = 8
+        labels = (rng.random((b, 1)) < 0.5).astype(float)
+        starts = np.zeros((b, 1), dtype=int)
+        ends = np.zeros((b, 1), dtype=int)
+        for i in range(b):
+            if labels[i, 0]:
+                starts[i, 0] = rng.integers(1, H)
+                ends[i, 0] = rng.integers(starts[i, 0], H + 1)
+        rec = records_with(labels, starts, ends)
+        exists = rng.random((b, 1)) < 0.5
+        ps = rng.integers(1, H, size=(b, 1))
+        pe = np.minimum(H, ps + rng.integers(0, H, size=(b, 1)))
+        pred = batch_with(exists, np.where(exists, ps, 0), np.where(exists, pe, 0))
+        summary = evaluate(pred, rec)
+        for value in (summary.rec, summary.spl, summary.rec_c,
+                      summary.rec_r, summary.prec_c):
+            assert np.isnan(value) or 0.0 <= value <= 1.0

@@ -1,0 +1,108 @@
+"""Property tests for exact metric identities.
+
+The §VI.C measures are algebraically related:
+
+* REC = REC_c × REC_r  (the end-to-end recall factors into the existence
+  stage times the interval stage) whenever any true positive exists;
+* REC ≤ REC_c (η of a predicted-present event is at most 1);
+* η = 1 exactly when the prediction covers the true interval.
+
+These hold for *every* prediction/record pair, so they make strong
+hypothesis targets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import PredictionBatch
+from repro.data import RecordSet
+from repro.metrics import (
+    eta_matrix,
+    existence_recall,
+    interval_recall,
+    recall,
+)
+from repro.video.events import EventType
+
+H = 24
+ET = EventType("e", 5, 1)
+
+
+def random_pair(seed, b=10, k=2):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random((b, k)) < 0.6).astype(float)
+    starts = np.zeros((b, k), dtype=int)
+    ends = np.zeros((b, k), dtype=int)
+    for i in range(b):
+        for j in range(k):
+            if labels[i, j]:
+                starts[i, j] = rng.integers(1, H)
+                ends[i, j] = rng.integers(starts[i, j], H + 1)
+    records = RecordSet(
+        event_types=[ET] * k, horizon=H, frames=np.arange(b),
+        covariates=np.zeros((b, 2, 1)), labels=labels,
+        starts=starts, ends=ends, censored=np.zeros((b, k)),
+    )
+    exists = rng.random((b, k)) < 0.7
+    ps = rng.integers(1, H, size=(b, k))
+    pe = np.minimum(H, ps + rng.integers(0, H, size=(b, k)))
+    predictions = PredictionBatch(
+        exists=exists,
+        starts=np.where(exists, ps, 0),
+        ends=np.where(exists, pe, 0),
+        horizon=H,
+    )
+    return predictions, records
+
+
+class TestIdentities:
+    @given(st.integers(0, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_rec_factorisation(self, seed):
+        """REC = REC_c × REC_r whenever both factors are defined."""
+        predictions, records = random_pair(seed)
+        rec = recall(predictions, records)
+        rec_c = existence_recall(predictions, records)
+        rec_r = interval_recall(predictions, records)
+        if np.isnan(rec_r):
+            # No true positives: REC must then be 0 or NaN.
+            assert np.isnan(rec) or rec == 0.0
+        else:
+            assert rec == pytest.approx(rec_c * rec_r)
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_rec_bounded_by_rec_c(self, seed):
+        predictions, records = random_pair(seed)
+        rec = recall(predictions, records)
+        rec_c = existence_recall(predictions, records)
+        if not (np.isnan(rec) or np.isnan(rec_c)):
+            assert rec <= rec_c + 1e-12
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_eta_one_iff_covering(self, seed):
+        predictions, records = random_pair(seed)
+        eta = eta_matrix(predictions, records)
+        covered = (
+            predictions.exists
+            & (records.labels > 0)
+            & (predictions.starts <= records.starts)
+            & (predictions.ends >= records.ends)
+        )
+        np.testing.assert_array_equal(eta == 1.0, covered)
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_full_horizon_prediction_recalls_everything(self, seed):
+        predictions, records = random_pair(seed)
+        full = PredictionBatch(
+            exists=np.ones_like(predictions.exists),
+            starts=np.ones_like(predictions.starts),
+            ends=np.full_like(predictions.ends, H),
+            horizon=H,
+        )
+        rec = recall(full, records)
+        assert np.isnan(rec) or rec == 1.0

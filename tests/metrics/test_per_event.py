@@ -1,0 +1,165 @@
+"""Tests for per-event breakdowns and interval IoU."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import PredictionBatch
+from repro.data import RecordSet
+from repro.metrics import (
+    interval_iou_matrix,
+    mean_interval_iou,
+    per_event_summaries,
+    recall,
+)
+from repro.video.events import EventType
+
+H = 20
+ETS = [EventType("easy", 5, 1), EventType("hard", 8, 3)]
+
+
+def two_event_records():
+    labels = np.array([[1.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+    starts = np.array([[2, 5], [3, 0], [0, 10]])
+    ends = np.array([[6, 9], [7, 0], [0, 15]])
+    return RecordSet(
+        event_types=ETS,
+        horizon=H,
+        frames=np.arange(3),
+        covariates=np.zeros((3, 2, 1)),
+        labels=labels,
+        starts=starts,
+        ends=ends,
+        censored=np.zeros((3, 2)),
+    )
+
+
+def predictions(perfect_first=True):
+    records = two_event_records()
+    exists = records.labels > 0
+    starts = records.starts.copy()
+    ends = records.ends.copy()
+    if not perfect_first:
+        pass
+    # Make the second event's intervals systematically off by 3.
+    shift = np.where(exists[:, 1], 3, 0)
+    starts[:, 1] = np.where(exists[:, 1],
+                            np.minimum(H, starts[:, 1] + shift), 0)
+    ends[:, 1] = np.where(exists[:, 1], np.minimum(H, ends[:, 1] + shift), 0)
+    return PredictionBatch(exists=exists, starts=starts, ends=ends, horizon=H)
+
+
+class TestPerEventSummaries:
+    def test_names_and_split(self):
+        records = two_event_records()
+        summaries = per_event_summaries(predictions(), records)
+        assert set(summaries) == {"easy", "hard"}
+        assert summaries["easy"].rec == 1.0
+        assert summaries["hard"].rec < 1.0  # shifted intervals
+
+    def test_joint_rec_between_events(self):
+        records = two_event_records()
+        pred = predictions()
+        joint = recall(pred, records)
+        summaries = per_event_summaries(pred, records)
+        lo = min(s.rec for s in summaries.values())
+        hi = max(s.rec for s in summaries.values())
+        assert lo - 1e-9 <= joint <= hi + 1e-9
+
+    def test_shape_mismatch(self):
+        records = two_event_records()
+        bad = PredictionBatch(np.ones((3, 1), dtype=bool),
+                              np.ones((3, 1), dtype=int),
+                              np.full((3, 1), 5), horizon=H)
+        with pytest.raises(ValueError):
+            per_event_summaries(bad, records)
+
+    def test_multi_instance_occupancy_sliced(self):
+        records = two_event_records()
+        occupancy = records.frame_targets()
+        with_occ = RecordSet(
+            event_types=records.event_types, horizon=records.horizon,
+            frames=records.frames, covariates=records.covariates,
+            labels=records.labels, starts=records.starts, ends=records.ends,
+            censored=records.censored, occupancy=occupancy,
+        )
+        summaries = per_event_summaries(predictions(), with_occ)
+        assert set(summaries) == {"easy", "hard"}
+
+
+class TestIntervalIoU:
+    def test_perfect_prediction_iou_one(self):
+        records = two_event_records()
+        exists = records.labels > 0
+        pred = PredictionBatch(exists=exists, starts=records.starts,
+                               ends=records.ends, horizon=H)
+        iou = interval_iou_matrix(pred, records)
+        assert np.all(iou[exists] == 1.0)
+
+    def test_disjoint_iou_zero(self):
+        records = two_event_records()
+        exists = records.labels > 0
+        starts = np.where(exists, 18, 0)
+        ends = np.where(exists, 20, 0)
+        pred = PredictionBatch(exists=exists, starts=starts, ends=ends, horizon=H)
+        iou = interval_iou_matrix(pred, records)
+        assert iou[0, 0] == 0.0  # true [2,6] vs pred [18,20]
+
+    def test_overwide_prediction_penalised(self):
+        """η stays 1 for an over-wide prediction; IoU drops below 1."""
+        records = two_event_records()
+        exists = records.labels > 0
+        pred_wide = PredictionBatch(
+            exists=exists,
+            starts=np.where(exists, 1, 0),
+            ends=np.where(exists, H, 0),
+            horizon=H,
+        )
+        assert recall(pred_wide, records) == 1.0
+        assert mean_interval_iou(pred_wide, records) < 0.6
+
+    def test_manual_value(self):
+        # true [2,6] (5 frames), pred [4,8] (5 frames): inter 3, union 7.
+        records = two_event_records()
+        exists = np.array([[True, False], [False, False], [False, False]])
+        pred = PredictionBatch(
+            exists=exists,
+            starts=np.where(exists, 4, 0),
+            ends=np.where(exists, 8, 0),
+            horizon=H,
+        )
+        iou = interval_iou_matrix(pred, records)
+        assert iou[0, 0] == pytest.approx(3 / 7)
+
+    def test_mean_nan_without_positives(self):
+        records = two_event_records()
+        empty = RecordSet(
+            event_types=records.event_types, horizon=H,
+            frames=records.frames, covariates=records.covariates,
+            labels=np.zeros((3, 2)), starts=np.zeros((3, 2), dtype=int),
+            ends=np.zeros((3, 2), dtype=int), censored=np.zeros((3, 2)),
+        )
+        pred = PredictionBatch(np.zeros((3, 2), dtype=bool),
+                               np.zeros((3, 2), dtype=int),
+                               np.zeros((3, 2), dtype=int), horizon=H)
+        assert np.isnan(mean_interval_iou(pred, empty))
+
+    def test_validation(self):
+        records = two_event_records()
+        bad = PredictionBatch(np.ones((3, 2), dtype=bool),
+                              np.ones((3, 2), dtype=int),
+                              np.full((3, 2), 5), horizon=50)
+        with pytest.raises(ValueError):
+            interval_iou_matrix(bad, records)
+
+    def test_iou_bounded(self):
+        rng = np.random.default_rng(0)
+        records = two_event_records()
+        for _ in range(20):
+            exists = rng.random((3, 2)) < 0.7
+            s = rng.integers(1, H, size=(3, 2))
+            e = np.minimum(H, s + rng.integers(0, 8, size=(3, 2)))
+            pred = PredictionBatch(exists=exists,
+                                   starts=np.where(exists, s, 0),
+                                   ends=np.where(exists, e, 0), horizon=H)
+            iou = interval_iou_matrix(pred, records)
+            assert np.all((iou >= 0) & (iou <= 1))

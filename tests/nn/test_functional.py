@@ -1,0 +1,89 @@
+"""Tests for functional helpers not covered elsewhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.functional import dropout, log_safe, softplus
+
+
+class TestSoftplus:
+    def test_matches_reference(self):
+        x = np.linspace(-10, 10, 41)
+        out = softplus(Tensor(x)).data
+        np.testing.assert_allclose(out, np.logaddexp(0, x), rtol=1e-10)
+
+    def test_large_inputs_stable(self):
+        x = np.array([-500.0, 500.0])
+        out = softplus(Tensor(x)).data
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-10)
+        assert out[1] == pytest.approx(500.0, rel=1e-10)
+
+    def test_gradient_is_sigmoid(self):
+        x = Tensor(np.array([0.3, -1.2]), requires_grad=True)
+        softplus(x).sum().backward()
+        expected = 1 / (1 + np.exp(-x.data))
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-8)
+
+    @given(st.floats(-20, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_everywhere(self, v):
+        assert softplus(Tensor(np.array([v]))).data[0] > 0
+
+
+class TestLogSafe:
+    def test_clamps_at_zero(self):
+        out = log_safe(Tensor(np.array([0.0, 1.0]))).data
+        assert np.isfinite(out[0])
+        assert out[1] == pytest.approx(0.0)
+
+    def test_passthrough_in_range(self):
+        x = np.array([0.1, 0.5, 0.9])
+        np.testing.assert_allclose(log_safe(Tensor(x)).data, np.log(x))
+
+
+class TestDropoutFunction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), p=1.0, training=True)
+
+    def test_eval_identity(self):
+        x = Tensor(np.ones(5))
+        assert dropout(x, 0.9, training=False) is x
+
+    def test_gradient_respects_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        # Gradient is 2.0 on survivors (inverted scaling), 0 on dropped.
+        assert set(np.unique(x.grad)) <= {0.0, 2.0}
+
+
+class TestPackageSurface:
+    def test_top_level_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_alls_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro.nn", "repro.video", "repro.features", "repro.data",
+            "repro.core", "repro.conformal", "repro.baselines",
+            "repro.cloud", "repro.metrics", "repro.harness",
+            "repro.survival", "repro.drift",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,190 @@
+"""Tests for Module/Linear/Dropout/Sequential/MLP layer mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+
+class TestModule:
+    def test_parameter_registration_via_setattr(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+
+        m = M()
+        assert len(m.parameters()) == 1
+
+    def test_nested_module_parameters(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Linear(2, 2, rng=np.random.default_rng(0))
+                self.w = Parameter(np.ones(1))
+
+        m = Outer()
+        assert len(m.parameters()) == 3  # inner weight + bias + own w
+
+    def test_named_parameters_paths(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Linear(2, 2, rng=np.random.default_rng(0))
+
+        names = [n for n, _ in Outer().named_parameters()]
+        assert names == ["inner.weight", "inner.bias"]
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 1)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2, rng=np.random.default_rng(1))
+        b = Linear(3, 2, rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        layer = Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        layer = Linear(2, 2)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 7)
+        out = layer(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_no_bias_option(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_bad_input_dim(self):
+        layer = Linear(3, 2)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((1, 4))))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = Linear(3, 3, rng=np.random.default_rng(42))
+        b = Linear(3, 3, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_repr(self):
+        assert "Linear(in=3, out=2)" == repr(Linear(3, 2))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = Dropout(0.9, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_train_mode_scales_survivors(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((1000,)))).data
+        survivors = out[out > 0]
+        np.testing.assert_allclose(survivors, 2.0)
+        # roughly half survive
+        assert 0.4 < survivors.size / 1000 < 0.6
+
+    def test_zero_p_is_identity_even_training(self):
+        drop = Dropout(0.0)
+        x = Tensor(np.ones(5))
+        assert drop(x) is x
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_expected_value_preserved(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(1))
+        out = drop(Tensor(np.ones(20000))).data
+        assert abs(out.mean() - 1.0) < 0.05
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+        out = seq(Tensor(np.array([[1.0, -1.0]])))
+        assert np.all(out.data >= 0)
+
+    def test_sequential_len_getitem(self):
+        seq = Sequential(ReLU(), Tanh(), Sigmoid())
+        assert len(seq) == 3
+        assert isinstance(seq[1], Tanh)
+
+    def test_mlp_output_shape(self):
+        mlp = MLP(5, [8, 8], 3, rng=np.random.default_rng(0))
+        assert mlp(Tensor(np.zeros((2, 5)))).shape == (2, 3)
+
+    def test_mlp_sigmoid_output_bounded(self):
+        mlp = MLP(4, [6], 2, output_activation="sigmoid",
+                  rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(10, 4)))).data
+        assert np.all((out > 0) & (out < 1))
+
+    def test_mlp_no_hidden_layers(self):
+        mlp = MLP(3, [], 2, rng=np.random.default_rng(0))
+        assert mlp(Tensor(np.zeros((1, 3)))).shape == (1, 2)
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(2, [2], 1, activation="gelu")
+        with pytest.raises(ValueError):
+            MLP(2, [2], 1, output_activation="softmax")
+
+    def test_activations_forward(self):
+        x = Tensor(np.array([-1.0, 0.0, 1.0]))
+        np.testing.assert_allclose(ReLU()(x).data, [0, 0, 1])
+        np.testing.assert_allclose(Tanh()(x).data, np.tanh([-1, 0, 1]))
+        np.testing.assert_allclose(
+            Sigmoid()(x).data, 1 / (1 + np.exp(-np.array([-1.0, 0, 1])))
+        )

@@ -1,0 +1,203 @@
+"""Tests for the paper's L1/L2 losses and BCE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, existence_loss, interval_loss, interval_weights, total_loss
+from repro.nn.functional import binary_cross_entropy
+
+
+class TestBCE:
+    def test_perfect_prediction_near_zero(self):
+        pred = Tensor(np.array([[0.999999, 0.000001]]))
+        target = np.array([[1.0, 0.0]])
+        assert binary_cross_entropy(pred, target).item() < 1e-4
+
+    def test_worst_prediction_finite(self):
+        pred = Tensor(np.array([[0.0, 1.0]]))
+        target = np.array([[1.0, 0.0]])
+        loss = binary_cross_entropy(pred, target).item()
+        assert np.isfinite(loss) and loss > 10
+
+    def test_matches_manual_formula(self):
+        p = np.array([[0.3, 0.8]])
+        t = np.array([[1.0, 0.0]])
+        expected = -(np.log(0.3) + np.log(0.2)) / 2
+        np.testing.assert_allclose(
+            binary_cross_entropy(Tensor(p), t).item(), expected
+        )
+
+    def test_reduction_modes(self):
+        p = Tensor(np.full((2, 2), 0.5))
+        t = np.ones((2, 2))
+        mean = binary_cross_entropy(p, t, reduction="mean").item()
+        total = binary_cross_entropy(p, t, reduction="sum").item()
+        none = binary_cross_entropy(p, t, reduction="none")
+        np.testing.assert_allclose(total, mean * 4)
+        assert none.shape == (2, 2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy(Tensor(np.zeros((2, 2))), np.zeros((2, 3)))
+
+    def test_rejects_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy(Tensor(np.zeros((1, 1))), np.zeros((1, 1)),
+                                 reduction="median")
+
+    @given(st.floats(0.01, 0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_nonnegative(self, p):
+        pred = Tensor(np.array([[p]]))
+        for t in (0.0, 1.0):
+            assert binary_cross_entropy(pred, np.array([[t]])).item() >= 0
+
+
+class TestExistenceLoss:
+    def test_uniform_scores_give_log2(self):
+        scores = Tensor(np.full((4, 3), 0.5))
+        labels = np.random.default_rng(0).integers(0, 2, size=(4, 3))
+        loss = existence_loss(scores, labels)
+        np.testing.assert_allclose(loss.item(), 3 * np.log(2), rtol=1e-6)
+
+    def test_beta_weights_scale_loss(self):
+        scores = Tensor(np.full((2, 2), 0.5))
+        labels = np.ones((2, 2))
+        base = existence_loss(scores, labels).item()
+        weighted = existence_loss(scores, labels, betas=[2.0, 2.0]).item()
+        np.testing.assert_allclose(weighted, 2 * base)
+
+    def test_gradient_direction(self):
+        """Loss gradient should push scores toward the labels."""
+        scores = Tensor(np.array([[0.5, 0.5]]), requires_grad=True)
+        labels = np.array([[1.0, 0.0]])
+        existence_loss(scores, labels).backward()
+        assert scores.grad[0, 0] < 0  # increase score for positive
+        assert scores.grad[0, 1] > 0  # decrease score for negative
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            existence_loss(Tensor(np.zeros((2, 2))), np.zeros((2, 3)))
+
+    def test_rejects_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            existence_loss(Tensor(np.full((1, 2), 0.5)), np.ones((1, 2)),
+                           betas=[1.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            existence_loss(Tensor(np.full((1, 1), 0.5)), np.ones((1, 1)),
+                           betas=[-1.0])
+
+
+class TestIntervalWeights:
+    def test_inside_outside_normalisation(self):
+        labels = np.array([[1.0]])
+        targets = np.zeros((1, 1, 10))
+        targets[0, 0, 2:6] = 1.0  # interval of length 4, outside 6
+        w = interval_weights(labels, targets)
+        np.testing.assert_allclose(w[0, 0, 2:6], 0.25)
+        np.testing.assert_allclose(w[0, 0, :2], 1 / 6)
+        np.testing.assert_allclose(w[0, 0, 6:], 1 / 6)
+
+    def test_absent_event_zero_weight(self):
+        labels = np.array([[0.0]])
+        targets = np.zeros((1, 1, 5))
+        np.testing.assert_array_equal(interval_weights(labels, targets),
+                                      np.zeros((1, 1, 5)))
+
+    def test_full_horizon_interval_no_nan(self):
+        labels = np.array([[1.0]])
+        targets = np.ones((1, 1, 8))
+        w = interval_weights(labels, targets)
+        assert np.all(np.isfinite(w))
+        np.testing.assert_allclose(w[0, 0], 1 / 8)
+
+    def test_weights_sum_to_two_for_present_event(self):
+        """Inside weights sum to 1 and outside weights sum to 1."""
+        labels = np.array([[1.0]])
+        targets = np.zeros((1, 1, 20))
+        targets[0, 0, 5:9] = 1.0
+        w = interval_weights(labels, targets)
+        np.testing.assert_allclose(w.sum(), 2.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            interval_weights(np.ones((1, 2)), np.zeros((1, 1, 5)))
+        with pytest.raises(ValueError):
+            interval_weights(np.ones((1, 1)), np.zeros((1, 5)))
+
+
+class TestIntervalLoss:
+    def test_perfect_scores_near_zero(self):
+        labels = np.array([[1.0]])
+        targets = np.zeros((1, 1, 6))
+        targets[0, 0, 1:3] = 1.0
+        scores = Tensor(np.where(targets > 0, 0.999999, 0.000001))
+        assert interval_loss(scores, labels, targets).item() < 1e-4
+
+    def test_absent_event_contributes_zero(self):
+        labels = np.array([[0.0]])
+        targets = np.zeros((1, 1, 6))
+        scores = Tensor(np.full((1, 1, 6), 0.5))
+        np.testing.assert_allclose(interval_loss(scores, labels, targets).item(), 0.0)
+
+    def test_gamma_scales(self):
+        labels = np.array([[1.0]])
+        targets = np.zeros((1, 1, 4))
+        targets[0, 0, :2] = 1.0
+        scores = Tensor(np.full((1, 1, 4), 0.5))
+        base = interval_loss(scores, labels, targets).item()
+        scaled = interval_loss(scores, labels, targets, gammas=[3.0]).item()
+        np.testing.assert_allclose(scaled, 3 * base)
+
+    def test_uniform_scores_equal_2log2(self):
+        """With θ=0.5 everywhere, L2 per present event is exactly 2·log 2."""
+        labels = np.array([[1.0]])
+        targets = np.zeros((1, 1, 10))
+        targets[0, 0, 3:7] = 1.0
+        scores = Tensor(np.full((1, 1, 10), 0.5))
+        np.testing.assert_allclose(
+            interval_loss(scores, labels, targets).item(), 2 * np.log(2)
+        )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            interval_loss(Tensor(np.zeros((1, 1, 5))), np.ones((1, 1)),
+                          np.zeros((1, 1, 6)))
+
+
+class TestTotalLoss:
+    def test_sum_of_components(self):
+        rng = np.random.default_rng(0)
+        labels = np.array([[1.0, 0.0]])
+        targets = np.zeros((1, 2, 8))
+        targets[0, 0, 2:5] = 1.0
+        scores = Tensor(rng.uniform(0.2, 0.8, (1, 2)))
+        frames = Tensor(rng.uniform(0.2, 0.8, (1, 2, 8)))
+        total = total_loss(scores, frames, labels, targets).item()
+        l1 = existence_loss(scores, labels).item()
+        l2 = interval_loss(frames, labels, targets).item()
+        np.testing.assert_allclose(total, l1 + l2)
+
+    def test_trains_toward_targets(self):
+        """Gradient descent on L_total should fit a single record exactly."""
+        from repro.nn import Adam, Parameter
+
+        labels = np.array([[1.0]])
+        targets = np.zeros((1, 1, 6))
+        targets[0, 0, 2:4] = 1.0
+        logit_b = Parameter(np.zeros((1, 1)))
+        logit_f = Parameter(np.zeros((1, 1, 6)))
+        opt = Adam([logit_b, logit_f], lr=0.3)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = total_loss(logit_b.sigmoid(), logit_f.sigmoid(), labels, targets)
+            loss.backward()
+            opt.step()
+        final_frames = logit_f.sigmoid().data[0, 0]
+        assert np.all(final_frames[2:4] > 0.9)
+        assert np.all(final_frames[[0, 1, 4, 5]] < 0.1)
+        assert logit_b.sigmoid().data[0, 0] > 0.9

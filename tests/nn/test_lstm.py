@@ -1,0 +1,102 @@
+"""Tests for the LSTM encoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, LSTMCell, Adam, Tensor
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(3, 5, rng=np.random.default_rng(0))
+        h, c = cell.initial_state(4)
+        assert h.shape == (4, 5) and c.shape == (4, 5)
+        h2, c2 = cell(Tensor(np.zeros((4, 3))), (h, c))
+        assert h2.shape == (4, 5) and c2.shape == (4, 5)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(2, 3, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(cell.bias.data[3:6], np.ones(3))
+        np.testing.assert_array_equal(cell.bias.data[:3], np.zeros(3))
+
+    def test_hidden_bounded_by_tanh(self):
+        cell = LSTMCell(2, 4, rng=np.random.default_rng(0))
+        state = cell.initial_state(1)
+        x = Tensor(np.full((1, 2), 100.0))
+        for _ in range(10):
+            state = cell(x, state)
+        assert np.all(np.abs(state[0].data) <= 1.0)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4)
+
+    def test_zero_input_zero_state_deterministic(self):
+        cell = LSTMCell(2, 3, rng=np.random.default_rng(0))
+        state = cell.initial_state(1)
+        h, _ = cell(Tensor(np.zeros((1, 2))), state)
+        h2, _ = cell(Tensor(np.zeros((1, 2))), cell.initial_state(1))
+        np.testing.assert_array_equal(h.data, h2.data)
+
+
+class TestLSTM:
+    def test_final_hidden_shape(self):
+        lstm = LSTM(4, 6, rng=np.random.default_rng(0))
+        out = lstm(Tensor(np.zeros((3, 7, 4))))
+        assert out.shape == (3, 6)
+
+    def test_return_sequence(self):
+        lstm = LSTM(2, 3, rng=np.random.default_rng(0))
+        final, seq = lstm(Tensor(np.zeros((2, 5, 2))), return_sequence=True)
+        assert len(seq) == 5
+        np.testing.assert_array_equal(final.data, seq[-1].data)
+
+    def test_rejects_wrong_rank(self):
+        lstm = LSTM(2, 3)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((5, 2))))
+
+    def test_rejects_wrong_feature_dim(self):
+        lstm = LSTM(2, 3)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((1, 4, 5))))
+
+    def test_rejects_empty_sequence(self):
+        lstm = LSTM(2, 3)
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((1, 0, 2))))
+
+    def test_order_sensitivity(self):
+        """The encoder must distinguish sequence orderings (it is temporal)."""
+        lstm = LSTM(1, 4, rng=np.random.default_rng(0))
+        ramp_up = np.linspace(0, 1, 6).reshape(1, 6, 1)
+        ramp_down = ramp_up[:, ::-1, :].copy()
+        out_up = lstm(Tensor(ramp_up)).data
+        out_down = lstm(Tensor(ramp_down)).data
+        assert not np.allclose(out_up, out_down)
+
+    def test_can_learn_sequence_sum_sign(self):
+        """Train a tiny LSTM to classify whether a sequence sums positive."""
+        rng = np.random.default_rng(5)
+        lstm = LSTM(1, 8, rng=rng)
+        from repro.nn import Linear
+
+        head = Linear(8, 1, rng=rng)
+        params = lstm.parameters() + head.parameters()
+        opt = Adam(params, lr=0.02)
+        x = rng.normal(size=(64, 5, 1))
+        y = (x.sum(axis=(1, 2)) > 0).astype(float).reshape(-1, 1)
+        losses = []
+        for _ in range(120):
+            opt.zero_grad()
+            pred = head(lstm(Tensor(x))).sigmoid()
+            from repro.nn.functional import binary_cross_entropy
+
+            loss = binary_cross_entropy(pred, y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        pred = head(lstm(Tensor(x))).sigmoid().data
+        accuracy = ((pred > 0.5).astype(float) == y).mean()
+        assert losses[-1] < losses[0] * 0.5
+        assert accuracy > 0.9

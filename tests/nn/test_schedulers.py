@@ -1,0 +1,117 @@
+"""Tests for learning-rate schedulers and their trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineDecay,
+    LinearWarmup,
+    Parameter,
+    StepDecay,
+    chain,
+)
+
+
+def make_optimizer(lr=0.1):
+    return Adam([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepDecay:
+    def test_halves_every_step(self):
+        opt = make_optimizer(0.1)
+        sched = StepDecay(opt, step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(6)]
+        np.testing.assert_allclose(
+            rates, [0.1, 0.05, 0.05, 0.025, 0.025, 0.0125]
+        )
+        assert opt.lr == pytest.approx(0.0125)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), step_size=1, gamma=0.0)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        opt = make_optimizer(0.1)
+        sched = CosineDecay(opt, total_epochs=10, min_lr=1e-4)
+        assert sched.lr_at(0) == pytest.approx(0.1)
+        assert sched.lr_at(10) == pytest.approx(1e-4)
+        assert sched.lr_at(50) == pytest.approx(1e-4)  # clamps past total
+
+    def test_monotone_decreasing(self):
+        sched = CosineDecay(make_optimizer(0.1), total_epochs=20)
+        rates = [sched.lr_at(e) for e in range(21)]
+        assert all(b <= a + 1e-15 for a, b in zip(rates, rates[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(make_optimizer(), total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineDecay(make_optimizer(0.01), total_epochs=5, min_lr=0.1)
+
+
+class TestLinearWarmup:
+    def test_initial_rate_applied_immediately(self):
+        opt = make_optimizer(0.1)
+        LinearWarmup(opt, warmup_epochs=5, start_factor=0.1)
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_ramps_to_base(self):
+        opt = make_optimizer(0.1)
+        sched = LinearWarmup(opt, warmup_epochs=4, start_factor=0.2)
+        rates = [sched.step() for _ in range(4)]
+        assert rates[-1] == pytest.approx(0.1)
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_hands_over_to_inner(self):
+        opt = make_optimizer(0.1)
+        inner = CosineDecay(opt, total_epochs=10, min_lr=1e-4)
+        sched = LinearWarmup(opt, warmup_epochs=2, after=inner)
+        for _ in range(12):
+            sched.step()
+        assert opt.lr == pytest.approx(1e-4)
+
+    def test_inner_must_share_optimizer(self):
+        inner = CosineDecay(make_optimizer(0.1), total_epochs=5)
+        with pytest.raises(ValueError):
+            LinearWarmup(make_optimizer(0.1), warmup_epochs=2, after=inner)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(make_optimizer(), warmup_epochs=0)
+        with pytest.raises(ValueError):
+            LinearWarmup(make_optimizer(), warmup_epochs=2, start_factor=0.0)
+
+
+class TestChain:
+    def test_warmup_then_decay(self):
+        opt = make_optimizer(0.1)
+        sched = chain(opt, warmup_epochs=3, total_epochs=13)
+        rates = [sched.step() for _ in range(13)]
+        peak = max(rates)
+        assert rates[2] == pytest.approx(0.1)  # end of warmup
+        assert peak == pytest.approx(0.1)
+        assert rates[-1] < 0.01  # decayed
+
+
+class TestTrainerIntegration:
+    def test_scheduler_steps_per_epoch(self):
+        from repro.core import Trainer, EventHit
+        from tests.core.test_trainer import small_config, synthetic_records
+
+        records = synthetic_records(b=32)
+        model = EventHit(4, 1, config=small_config(epochs=5))
+        trainer = Trainer(
+            model,
+            scheduler_factory=lambda opt: StepDecay(opt, step_size=1, gamma=0.5),
+        )
+        history = trainer.fit(records)
+        assert len(history.learning_rates) == 5
+        np.testing.assert_allclose(
+            history.learning_rates,
+            [5e-3 * 0.5**i for i in range(1, 6)],
+        )

@@ -1,0 +1,75 @@
+"""Tests for .npz checkpointing of modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Linear,
+    MLP,
+    Sequential,
+    Tensor,
+    load_module,
+    load_state,
+    save_module,
+    save_state,
+)
+
+
+def test_save_load_state_roundtrip(tmp_path):
+    state = {"a": np.arange(3.0), "b.c": np.eye(2)}
+    path = tmp_path / "state.npz"
+    save_state(state, path)
+    loaded = load_state(path)
+    assert set(loaded) == {"a", "b.c"}
+    np.testing.assert_array_equal(loaded["a"], state["a"])
+    np.testing.assert_array_equal(loaded["b.c"], state["b.c"])
+
+
+def test_save_load_module_roundtrip(tmp_path):
+    src = Linear(4, 3, rng=np.random.default_rng(0))
+    dst = Linear(4, 3, rng=np.random.default_rng(1))
+    path = tmp_path / "linear.npz"
+    save_module(src, path)
+    load_module(dst, path)
+    np.testing.assert_array_equal(src.weight.data, dst.weight.data)
+    np.testing.assert_array_equal(src.bias.data, dst.bias.data)
+
+
+def test_roundtrip_preserves_forward_outputs(tmp_path):
+    rng = np.random.default_rng(2)
+    src = MLP(5, [7], 3, rng=np.random.default_rng(10))
+    dst = MLP(5, [7], 3, rng=np.random.default_rng(20))
+    x = rng.normal(size=(6, 5))
+    path = tmp_path / "mlp.npz"
+    save_module(src, path)
+    load_module(dst, path)
+    np.testing.assert_allclose(src(Tensor(x)).data, dst(Tensor(x)).data)
+
+
+def test_lstm_checkpoint(tmp_path):
+    src = LSTM(3, 4, rng=np.random.default_rng(0))
+    dst = LSTM(3, 4, rng=np.random.default_rng(9))
+    path = tmp_path / "lstm.npz"
+    save_module(src, path)
+    load_module(dst, path)
+    x = np.random.default_rng(1).normal(size=(2, 6, 3))
+    np.testing.assert_allclose(src(Tensor(x)).data, dst(Tensor(x)).data)
+
+
+def test_load_into_mismatched_module_raises(tmp_path):
+    src = Linear(4, 3, rng=np.random.default_rng(0))
+    dst = Linear(3, 3, rng=np.random.default_rng(0))
+    path = tmp_path / "bad.npz"
+    save_module(src, path)
+    with pytest.raises((KeyError, ValueError)):
+        load_module(dst, path)
+
+
+def test_nested_sequential_names_survive(tmp_path):
+    seq = Sequential(Linear(2, 2, rng=np.random.default_rng(0)),
+                     Linear(2, 1, rng=np.random.default_rng(1)))
+    path = tmp_path / "seq.npz"
+    save_module(seq, path)
+    names = set(load_state(path))
+    assert names == {"layer0.weight", "layer0.bias", "layer1.weight", "layer1.bias"}

@@ -1,0 +1,118 @@
+"""Tests for the schedule/record survival bridges."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetBuilder
+from repro.features import extract_features
+from repro.survival import (
+    expected_time_to_onset,
+    gaps_as_survival,
+    onset_drift_test,
+    records_as_survival,
+)
+from repro.video.arrivals import PoissonArrivals
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+
+ET = EventType("gate", duration_mean=20, duration_std=2, lead_time=100)
+
+
+def poisson_schedule(rate, length=60_000, seed=0):
+    rng = np.random.default_rng(seed)
+    onsets = PoissonArrivals(rate).sample(length, rng)
+    instances = []
+    last_end = -1
+    for onset in onsets:
+        if onset <= last_end:
+            continue
+        end = min(onset + 19, length - 1)
+        instances.append(EventInstance(onset, end, ET))
+        last_end = end
+    return EventSchedule(length, instances)
+
+
+class TestGapsAsSurvival:
+    def test_gap_counts(self):
+        sched = EventSchedule(
+            1000,
+            [EventInstance(100, 110, ET), EventInstance(400, 410, ET),
+             EventInstance(800, 810, ET)],
+        )
+        data = gaps_as_survival(sched, ET)
+        # 2 observed gaps + 1 censored tail
+        assert len(data) == 3
+        assert data.num_events == 2
+        np.testing.assert_array_equal(data.times[:2], [300, 400])
+        assert data.events[-1] == 0
+
+    def test_window_restriction(self):
+        sched = EventSchedule(
+            1000,
+            [EventInstance(100, 110, ET), EventInstance(400, 410, ET),
+             EventInstance(800, 810, ET)],
+        )
+        data = gaps_as_survival(sched, ET, start=0, end=500)
+        assert data.num_events == 1  # only the 100→400 gap
+
+    def test_too_few_onsets(self):
+        sched = EventSchedule(1000, [EventInstance(100, 110, ET)])
+        with pytest.raises(ValueError):
+            gaps_as_survival(sched, ET)
+
+    def test_invalid_window(self):
+        sched = poisson_schedule(0.001)
+        with pytest.raises(ValueError):
+            gaps_as_survival(sched, ET, start=100, end=50)
+
+    def test_poisson_gaps_look_exponential(self):
+        """Mean gap ≈ 1/rate for a Poisson schedule."""
+        sched = poisson_schedule(rate=1 / 500, seed=1)
+        data = gaps_as_survival(sched, ET)
+        observed = data.times[data.events > 0]
+        assert abs(observed.mean() - 500) < 100
+
+
+class TestRecordsAsSurvival:
+    def make_records(self):
+        instances = [EventInstance(300, 340, ET), EventInstance(900, 940, ET)]
+        stream = VideoStream(2000, EventSchedule(2000, instances), seed=0)
+        features = extract_features(stream, [ET])
+        builder = DatasetBuilder(window_size=5, horizon=150, stride=20)
+        return builder.build(stream, features, [ET])
+
+    def test_censoring_structure(self):
+        records = self.make_records()
+        data = records_as_survival(records, 0)
+        present = records.labels[:, 0] > 0
+        assert data.num_events == present.sum()
+        censored_times = data.times[data.events == 0]
+        np.testing.assert_array_equal(censored_times,
+                                      np.full(censored_times.size, 150.0))
+
+    def test_index_checked(self):
+        with pytest.raises(IndexError):
+            records_as_survival(self.make_records(), 3)
+
+    def test_expected_time_to_onset(self):
+        records = self.make_records()
+        mean, km = expected_time_to_onset(records, 0)
+        # Restricted mean lies within (0, H].
+        assert 0 < mean <= 150
+        # Events are rare, so most records never see an onset: the curve
+        # stays high and the restricted mean is near the horizon.
+        assert mean > 75
+
+
+class TestOnsetDriftTest:
+    def test_same_process_not_significant(self):
+        a = poisson_schedule(rate=1 / 400, seed=1)
+        b = poisson_schedule(rate=1 / 400, seed=2)
+        result = onset_drift_test(a, b, ET)
+        assert result.p_value > 0.01
+
+    def test_rate_change_detected(self):
+        a = poisson_schedule(rate=1 / 200, seed=3)
+        b = poisson_schedule(rate=1 / 800, seed=4)
+        result = onset_drift_test(a, b, ET)
+        assert result.significant

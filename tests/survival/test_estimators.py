@@ -1,0 +1,182 @@
+"""Tests for Kaplan-Meier, Nelson-Aalen, and the log-rank test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.survival import (
+    KaplanMeier,
+    NelsonAalen,
+    SurvivalData,
+    logrank_test,
+)
+
+
+def exponential_sample(rate=0.1, n=400, censor_at=30.0, seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.exponential(1.0 / rate, size=n)
+    events = (raw <= censor_at).astype(float)
+    times = np.minimum(raw, censor_at)
+    return SurvivalData(np.maximum(times, 1e-6), events)
+
+
+class TestSurvivalData:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurvivalData(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            SurvivalData(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            SurvivalData(np.array([1.0]), np.array([2.0]))
+        with pytest.raises(ValueError):
+            SurvivalData(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            SurvivalData(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_counts(self):
+        data = SurvivalData(np.array([1.0, 2.0, 3.0]), np.array([1.0, 0.0, 1.0]))
+        assert len(data) == 3
+        assert data.num_events == 2
+
+    def test_risk_table(self):
+        data = SurvivalData(
+            np.array([1.0, 2.0, 2.0, 3.0, 4.0]),
+            np.array([1.0, 1.0, 1.0, 0.0, 1.0]),
+        )
+        times, deaths, at_risk = data.risk_table()
+        np.testing.assert_array_equal(times, [1, 2, 4])
+        np.testing.assert_array_equal(deaths, [1, 2, 1])
+        np.testing.assert_array_equal(at_risk, [5, 4, 1])
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical(self):
+        """Without censoring, KM equals the empirical survival function."""
+        times = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        data = SurvivalData(times, np.ones(5))
+        km = KaplanMeier(data)
+        grid = np.array([0.5, 1.5, 2.5, 3.5, 4.5, 5.5])
+        expected = np.array([1.0, 0.8, 0.6, 0.4, 0.2, 0.0])
+        np.testing.assert_allclose(km.survival(grid), expected)
+
+    def test_survival_monotone_and_bounded(self):
+        data = exponential_sample()
+        km = KaplanMeier(data)
+        grid = np.linspace(0, 30, 100)
+        s = km.survival(grid)
+        assert np.all(np.diff(s) <= 1e-12)
+        assert np.all((s >= 0) & (s <= 1))
+        assert s[0] == 1.0
+
+    def test_recovers_exponential_curve(self):
+        data = exponential_sample(rate=0.1, n=2000, seed=1)
+        km = KaplanMeier(data)
+        grid = np.array([5.0, 10.0, 20.0])
+        truth = np.exp(-0.1 * grid)
+        np.testing.assert_allclose(km.survival(grid), truth, atol=0.05)
+
+    def test_greenwood_variance_shape(self):
+        """Variance is non-negative, rises early, and (correctly) shrinks
+        again near the tail where Ŝ² → 0 dominates the cumulative sum."""
+        data = exponential_sample(n=200)
+        km = KaplanMeier(data)
+        v = km.variance(np.array([2.0, 10.0, 25.0]))
+        assert np.all(v >= 0)
+        assert np.all(np.isfinite(v))
+        assert v[1] > v[0]
+        assert km.variance(np.array([0.0]))[0] == 0.0
+
+    def test_confidence_band_contains_estimate(self):
+        data = exponential_sample(n=100)
+        km = KaplanMeier(data)
+        grid = np.linspace(1, 25, 20)
+        low, high = km.confidence_band(grid, level=0.95)
+        s = km.survival(grid)
+        assert np.all(low <= s + 1e-12)
+        assert np.all(s <= high + 1e-12)
+        with pytest.raises(ValueError):
+            km.confidence_band(grid, level=1.5)
+
+    def test_median_survival(self):
+        data = exponential_sample(rate=0.1, n=3000, seed=2)
+        km = KaplanMeier(data)
+        # Exponential median = ln2 / rate ≈ 6.93.
+        assert abs(km.median_survival_time() - np.log(2) / 0.1) < 1.0
+
+    def test_median_inf_when_never_crossed(self):
+        data = SurvivalData(np.array([5.0, 6.0, 7.0, 8.0]),
+                            np.array([1.0, 0.0, 0.0, 0.0]))
+        assert KaplanMeier(data).median_survival_time() == float("inf")
+
+    def test_censoring_lifts_curve(self):
+        """Censoring observations (vs treating them as events) raises Ŝ."""
+        times = np.linspace(1, 20, 50)
+        all_events = SurvivalData(times, np.ones(50))
+        half_censored = SurvivalData(times, (np.arange(50) % 2).astype(float))
+        grid = np.array([10.0])
+        assert (KaplanMeier(half_censored).survival(grid)
+                > KaplanMeier(all_events).survival(grid))
+
+
+class TestNelsonAalen:
+    def test_cumulative_hazard_monotone(self):
+        data = exponential_sample()
+        na = NelsonAalen(data)
+        grid = np.linspace(0, 30, 50)
+        hazard = na.cumulative_hazard(grid)
+        assert np.all(np.diff(hazard) >= 0)
+        assert hazard[0] == 0.0
+
+    def test_recovers_exponential_hazard(self):
+        data = exponential_sample(rate=0.05, n=3000, censor_at=60, seed=3)
+        na = NelsonAalen(data)
+        grid = np.array([10.0, 20.0, 40.0])
+        np.testing.assert_allclose(na.cumulative_hazard(grid), 0.05 * grid,
+                                   rtol=0.15)
+
+    def test_breslow_survival_close_to_km(self):
+        data = exponential_sample(n=1000, seed=4)
+        na, km = NelsonAalen(data), KaplanMeier(data)
+        grid = np.linspace(1, 25, 20)
+        np.testing.assert_allclose(na.survival(grid), km.survival(grid),
+                                   atol=0.03)
+
+
+class TestLogRank:
+    def test_identical_groups_not_significant(self):
+        a = exponential_sample(rate=0.1, n=300, seed=5)
+        b = exponential_sample(rate=0.1, n=300, seed=6)
+        result = logrank_test(a, b)
+        assert result.p_value > 0.05
+        assert not result.significant
+
+    def test_different_rates_significant(self):
+        a = exponential_sample(rate=0.05, n=300, seed=7)
+        b = exponential_sample(rate=0.2, n=300, seed=8)
+        result = logrank_test(a, b)
+        assert result.p_value < 0.001
+        assert result.significant
+
+    def test_observed_expected_balance(self):
+        a = exponential_sample(rate=0.1, n=200, seed=9)
+        b = exponential_sample(rate=0.1, n=200, seed=10)
+        result = logrank_test(a, b)
+        total_observed = sum(result.observed)
+        total_expected = sum(result.expected)
+        assert total_observed == pytest.approx(total_expected, rel=1e-9)
+
+    def test_degenerate_no_events(self):
+        a = SurvivalData(np.array([5.0, 6.0]), np.zeros(2))
+        b = SurvivalData(np.array([5.0, 6.0]), np.zeros(2))
+        result = logrank_test(a, b)
+        assert result.p_value == 1.0
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_statistic_nonnegative(self, seed):
+        a = exponential_sample(rate=0.1, n=50, seed=seed)
+        b = exponential_sample(rate=0.15, n=50, seed=seed + 1000)
+        result = logrank_test(a, b)
+        assert result.statistic >= 0
+        assert 0 <= result.p_value <= 1

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+FAST = ["--scale", "0.05", "--epochs", "6", "--records", "120"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--algorithm", "NOSCOPE"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.task == "TA1"
+        assert args.scale == 0.12
+
+
+class TestCommands:
+    def test_tasks(self):
+        code, text = run_cli(["tasks"])
+        assert code == 0
+        assert "TA1" in text and "TA16" in text
+        assert "{E1, E5, E6}" in text
+
+    def test_table1(self):
+        code, text = run_cli(["table1", "--scale", "0.2"])
+        assert code == 0
+        assert "E12" in text
+        assert "paper_duration_avg" in text
+
+    def test_evaluate_ehcr(self):
+        code, text = run_cli(
+            ["evaluate", "--task", "TA10", "--algorithm", "EHCR",
+             "--confidence", "0.9", "--alpha", "0.9"] + FAST
+        )
+        assert code == 0
+        assert "REC:" in text and "SPL:" in text
+
+    def test_evaluate_cox_with_tau(self):
+        code, text = run_cli(
+            ["evaluate", "--task", "TA10", "--algorithm", "COX",
+             "--tau", "0.3"] + FAST
+        )
+        assert code == 0
+        assert "REC:" in text
+
+    def test_fig5(self):
+        code, text = run_cli(["fig5", "--task", "TA10"] + FAST)
+        assert code == 0
+        assert "REC_c" in text
+
+    def test_fig10(self):
+        code, text = run_cli(["fig10", "--task", "TA10"] + FAST)
+        assert code == 0
+        assert "cloud_inference" in text
+
+    def test_fig4_summary(self):
+        code, text = run_cli(["fig4", "--task", "TA10"] + FAST)
+        assert code == 0
+        assert "EHCR" in text
+        assert "max REC" in text
+
+    def test_fig6(self):
+        code, text = run_cli(["fig6", "--task", "TA10"] + FAST)
+        assert code == 0
+        assert "REC_r" in text
+
+    def test_fig8(self):
+        code, text = run_cli(["fig8", "--task", "TA10"] + FAST)
+        assert code == 0
+        assert "expense" in text
+        assert "BF" in text
+
+    def test_fig9(self):
+        code, text = run_cli(["fig9", "--task", "TA10"] + FAST)
+        assert code == 0
+        assert "FPS" in text
+        assert "VQS" in text
+
+    def test_fig10_rec_target_flag(self):
+        code, text = run_cli(
+            ["fig10", "--task", "TA10", "--rec-target", "0.7"] + FAST
+        )
+        assert code == 0
+        assert "achieved_REC" in text

@@ -1,0 +1,113 @@
+"""Tests for event arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video import (
+    FixedCountArrivals,
+    GeometricArrivals,
+    PoissonArrivals,
+    RegularArrivals,
+)
+
+
+class TestPoisson:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_count_close_to_expectation(self):
+        process = PoissonArrivals(rate=0.01)
+        rng = np.random.default_rng(0)
+        counts = [len(process.sample(10_000, rng)) for _ in range(50)]
+        assert abs(np.mean(counts) - 100) < 10
+
+    def test_onsets_sorted_and_in_range(self):
+        onsets = PoissonArrivals(0.05).sample(1000, np.random.default_rng(1))
+        assert onsets == sorted(onsets)
+        assert all(0 <= t < 1000 for t in onsets)
+
+    def test_exponential_gaps(self):
+        """Inter-arrival gaps should have std ≈ mean (exponential)."""
+        onsets = PoissonArrivals(0.02).sample(500_000, np.random.default_rng(2))
+        gaps = np.diff(onsets)
+        assert abs(gaps.mean() - 50) < 5
+        assert abs(gaps.std() / gaps.mean() - 1.0) < 0.1
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.1).sample(0, np.random.default_rng(0))
+
+
+class TestGeometric:
+    def test_p_validation(self):
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError):
+                GeometricArrivals(bad)
+
+    def test_count_close_to_expectation(self):
+        process = GeometricArrivals(p=0.01)
+        rng = np.random.default_rng(0)
+        onsets = process.sample(100_000, rng)
+        assert abs(len(onsets) - 1000) < 100
+
+    def test_expected_count(self):
+        assert GeometricArrivals(0.1).expected_count(100) == pytest.approx(10)
+
+
+class TestFixedCount:
+    def test_exact_count(self):
+        process = FixedCountArrivals(count=54, min_gap=100)
+        onsets = process.sample(60_000, np.random.default_rng(0))
+        assert len(onsets) == 54
+
+    def test_min_gap_respected(self):
+        process = FixedCountArrivals(count=50, min_gap=80)
+        onsets = process.sample(10_000, np.random.default_rng(0))
+        gaps = np.diff(onsets)
+        assert gaps.min() >= 80 - 80  # cell-based placement guarantees order
+        assert all(b > a for a, b in zip(onsets, onsets[1:]))
+
+    def test_gap_guarantee_with_slack(self):
+        """With cells wider than min_gap every gap is at least min_gap."""
+        process = FixedCountArrivals(count=10, min_gap=50)
+        for seed in range(10):
+            onsets = process.sample(1000, np.random.default_rng(seed))
+            assert np.diff(onsets).min() >= 50
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            FixedCountArrivals(count=100, min_gap=100).sample(
+                500, np.random.default_rng(0)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedCountArrivals(count=0)
+        with pytest.raises(ValueError):
+            FixedCountArrivals(count=1, min_gap=0)
+
+    @given(count=st.integers(1, 30), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_count_always_exact(self, count, seed):
+        onsets = FixedCountArrivals(count, min_gap=2).sample(
+            1000, np.random.default_rng(seed)
+        )
+        assert len(onsets) == count
+        assert all(0 <= t < 1000 for t in onsets)
+
+
+class TestRegular:
+    def test_periodic(self):
+        onsets = RegularArrivals(period=100, offset=10).sample(
+            350, np.random.default_rng(0)
+        )
+        assert onsets == [10, 110, 210, 310]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegularArrivals(period=0)
+        with pytest.raises(ValueError):
+            RegularArrivals(period=10, offset=-1)

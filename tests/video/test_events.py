@@ -1,0 +1,213 @@
+"""Tests for event types, instances, and schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video import EventInstance, EventSchedule, EventType, HorizonEvent
+
+ET = EventType(name="truck", duration_mean=20, duration_std=5)
+ET2 = EventType(name="crowd", duration_mean=40, duration_std=2)
+
+
+class TestEventType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventType("x", duration_mean=0, duration_std=1)
+        with pytest.raises(ValueError):
+            EventType("x", duration_mean=1, duration_std=-1)
+        with pytest.raises(ValueError):
+            EventType("x", duration_mean=1, duration_std=1, lead_time=0)
+        with pytest.raises(ValueError):
+            EventType("x", duration_mean=1, duration_std=1, predictability=1.5)
+
+    def test_sample_duration_at_least_two(self):
+        et = EventType("x", duration_mean=2, duration_std=50)
+        rng = np.random.default_rng(0)
+        durations = [et.sample_duration(rng) for _ in range(200)]
+        assert min(durations) >= 2
+
+    def test_sample_duration_matches_mean(self):
+        et = EventType("x", duration_mean=100, duration_std=10)
+        rng = np.random.default_rng(0)
+        durations = [et.sample_duration(rng) for _ in range(2000)]
+        assert abs(np.mean(durations) - 100) < 2
+
+
+class TestEventInstance:
+    def test_duration_inclusive(self):
+        assert EventInstance(5, 9, ET).duration == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventInstance(-1, 3, ET)
+        with pytest.raises(ValueError):
+            EventInstance(5, 4, ET)
+
+    def test_overlaps(self):
+        inst = EventInstance(10, 20, ET)
+        assert inst.overlaps(20, 30)
+        assert inst.overlaps(0, 10)
+        assert inst.overlaps(12, 15)
+        assert not inst.overlaps(21, 30)
+        assert not inst.overlaps(0, 9)
+
+    def test_frames(self):
+        assert list(EventInstance(3, 5, ET).frames()) == [3, 4, 5]
+
+    def test_ordering_by_start(self):
+        a, b = EventInstance(5, 9, ET), EventInstance(1, 3, ET)
+        assert sorted([a, b])[0] is b
+
+
+class TestEventSchedule:
+    def make(self):
+        return EventSchedule(
+            100,
+            [
+                EventInstance(10, 19, ET),
+                EventInstance(50, 69, ET),
+                EventInstance(30, 44, ET2),
+            ],
+        )
+
+    def test_rejects_instance_beyond_length(self):
+        with pytest.raises(ValueError):
+            EventSchedule(10, [EventInstance(5, 15, ET)])
+
+    def test_rejects_overlapping_same_type(self):
+        with pytest.raises(ValueError):
+            EventSchedule(100, [EventInstance(0, 10, ET), EventInstance(5, 20, ET)])
+
+    def test_allows_overlap_across_types(self):
+        sched = EventSchedule(
+            100, [EventInstance(0, 10, ET), EventInstance(5, 20, ET2)]
+        )
+        assert sched.occurrence_count(ET) == 1
+        assert sched.occurrence_count(ET2) == 1
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            EventSchedule(0, [])
+
+    def test_instances_sorted(self):
+        sched = EventSchedule(
+            100, [EventInstance(50, 60, ET), EventInstance(0, 10, ET)]
+        )
+        starts = [i.start for i in sched.instances_of(ET)]
+        assert starts == [0, 50]
+
+    def test_occupancy_mask(self):
+        mask = self.make().occupancy_mask(ET)
+        assert mask[10] and mask[19] and mask[50] and mask[69]
+        assert not mask[9] and not mask[20] and not mask[49] and not mask[70]
+        assert mask.sum() == 10 + 20
+
+    def test_occupancy_mask_unknown_type_empty(self):
+        unknown = EventType("ghost", 5, 1)
+        assert self.make().occupancy_mask(unknown).sum() == 0
+
+    def test_event_type_names(self):
+        assert self.make().event_type_names == ["crowd", "truck"]
+
+    def test_all_instances_sorted(self):
+        insts = self.make().all_instances()
+        assert [i.start for i in insts] == [10, 30, 50]
+
+    def test_duration_stats(self):
+        mean, std = self.make().duration_stats(ET)
+        np.testing.assert_allclose(mean, 15.0)
+        np.testing.assert_allclose(std, 5.0)
+
+    def test_duration_stats_empty_nan(self):
+        mean, std = self.make().duration_stats(EventType("ghost", 5, 1))
+        assert np.isnan(mean) and np.isnan(std)
+
+    def test_time_to_next_onset(self):
+        dist = self.make().time_to_next_onset(ET)
+        assert dist[0] == 10
+        assert dist[10] == 0  # onset frame reports zero
+        assert dist[11] == 39  # next onset at 50
+        assert dist[49] == 1
+        assert dist[50] == 0
+        assert np.isinf(dist[51])
+
+
+class TestHorizonQueries:
+    def make(self):
+        return EventSchedule(
+            1000,
+            [EventInstance(100, 149, ET), EventInstance(400, 479, ET)],
+        )
+
+    def test_event_fully_inside_horizon(self):
+        sched = self.make()
+        events = sched.events_in_horizon(ET, frame=50, horizon=200)
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.start_offset == 50 and ev.end_offset == 99
+        assert not ev.censored
+
+    def test_censored_event(self):
+        sched = self.make()
+        events = sched.events_in_horizon(ET, frame=50, horizon=80)
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.censored
+        assert ev.end_offset == 80
+        assert ev.start_offset == 50
+
+    def test_ongoing_event_starts_at_offset_one(self):
+        sched = self.make()
+        events = sched.events_in_horizon(ET, frame=120, horizon=100)
+        assert events[0].start_offset == 1
+        assert events[0].end_offset == 149 - 120
+
+    def test_no_events(self):
+        sched = self.make()
+        assert sched.events_in_horizon(ET, frame=600, horizon=100) == []
+
+    def test_multiple_events_in_horizon(self):
+        sched = self.make()
+        events = sched.events_in_horizon(ET, frame=50, horizon=500)
+        assert len(events) == 2
+
+    def test_first_event_in_horizon(self):
+        sched = self.make()
+        first = sched.first_event_in_horizon(ET, frame=50, horizon=500)
+        assert first.start_offset == 50
+        assert sched.first_event_in_horizon(ET, frame=600, horizon=100) is None
+
+    def test_validates_frame_and_horizon(self):
+        sched = self.make()
+        with pytest.raises(ValueError):
+            sched.events_in_horizon(ET, frame=-1, horizon=10)
+        with pytest.raises(ValueError):
+            sched.events_in_horizon(ET, frame=5000, horizon=10)
+        with pytest.raises(ValueError):
+            sched.events_in_horizon(ET, frame=0, horizon=0)
+
+    def test_event_ending_exactly_at_horizon_not_censored(self):
+        sched = EventSchedule(300, [EventInstance(100, 150, ET)])
+        events = sched.events_in_horizon(ET, frame=50, horizon=100)
+        assert not events[0].censored
+        assert events[0].end_offset == 100
+
+    @given(
+        frame=st.integers(0, 999),
+        horizon=st.integers(1, 600),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_always_in_horizon_bounds(self, frame, horizon):
+        sched = self.make()
+        for ev in sched.events_in_horizon(ET, frame, horizon):
+            assert 1 <= ev.start_offset <= ev.end_offset <= horizon
+
+
+class TestHorizonEventValidation:
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(ValueError):
+            HorizonEvent(ET, start_offset=0, end_offset=5, censored=False)
+        with pytest.raises(ValueError):
+            HorizonEvent(ET, start_offset=5, end_offset=4, censored=False)

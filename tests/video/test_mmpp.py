@@ -1,0 +1,73 @@
+"""Tests for the Markov-modulated Poisson arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.video import MarkovModulatedPoissonArrivals
+
+
+class TestMMPP:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedPoissonArrivals(quiet_rate=0, busy_rate=0.1)
+        with pytest.raises(ValueError):
+            MarkovModulatedPoissonArrivals(quiet_rate=0.2, busy_rate=0.1)
+        with pytest.raises(ValueError):
+            MarkovModulatedPoissonArrivals(0.01, 0.1, switch_prob=0.0)
+        with pytest.raises(ValueError):
+            MarkovModulatedPoissonArrivals(0.01, 0.1).sample(
+                0, np.random.default_rng(0)
+            )
+
+    def test_states_and_onsets_consistent(self):
+        process = MarkovModulatedPoissonArrivals(
+            quiet_rate=0.001, busy_rate=0.05, switch_prob=5e-4
+        )
+        rng = np.random.default_rng(0)
+        onsets, busy = process.sample_with_states(50_000, rng)
+        assert busy.shape == (50_000,)
+        assert all(0 <= t < 50_000 for t in onsets)
+        # Busy regime must produce a far higher empirical rate.
+        onset_mask = np.zeros(50_000, dtype=bool)
+        onset_mask[onsets] = True
+        busy_rate = onset_mask[busy].mean() if busy.any() else 0
+        quiet_rate = onset_mask[~busy].mean() if (~busy).any() else 0
+        assert busy_rate > 5 * max(quiet_rate, 1e-6)
+
+    def test_burstiness_exceeds_poisson(self):
+        """MMPP inter-arrival CV should exceed the exponential's CV of 1."""
+        process = MarkovModulatedPoissonArrivals(
+            quiet_rate=0.0005, busy_rate=0.05, switch_prob=2e-4
+        )
+        rng = np.random.default_rng(1)
+        onsets = process.sample(400_000, rng)
+        gaps = np.diff(onsets)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3
+
+    def test_start_busy_changes_prefix(self):
+        quiet_first = MarkovModulatedPoissonArrivals(
+            0.0001, 0.05, switch_prob=1e-6, start_busy=False
+        )
+        busy_first = MarkovModulatedPoissonArrivals(
+            0.0001, 0.05, switch_prob=1e-6, start_busy=True
+        )
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        few = quiet_first.sample(10_000, rng_a)
+        many = busy_first.sample(10_000, rng_b)
+        assert len(many) > len(few) * 5
+
+    def test_expected_count(self):
+        process = MarkovModulatedPoissonArrivals(0.01, 0.03)
+        assert process.expected_count(1000) == pytest.approx(20.0)
+
+    def test_regime_shift_breaks_stationarity(self):
+        """A slow chain yields long epochs with very different rates —
+        the non-stationary workload the drift tooling needs."""
+        process = MarkovModulatedPoissonArrivals(
+            quiet_rate=0.0005, busy_rate=0.02, switch_prob=5e-5,
+        )
+        rng = np.random.default_rng(3)
+        onsets, busy = process.sample_with_states(200_000, rng)
+        # The chain actually switched at least once.
+        assert busy.any() and (~busy).any()

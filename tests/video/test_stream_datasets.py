@@ -1,0 +1,205 @@
+"""Tests for VideoStream, StreamSegment, and Table I-calibrated datasets."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    EVENT_TYPES,
+    GROUP1_EVENTS,
+    GROUP2_EVENTS,
+    StreamSegment,
+    TABLE1_ROWS,
+    VideoStream,
+    build_schedule,
+    make_breakfast,
+    make_dataset,
+    make_stream,
+    make_thumos,
+    make_virat,
+    table1_stats,
+)
+from repro.video.events import EventInstance, EventSchedule, EventType
+
+ET = EventType("x", duration_mean=10, duration_std=2)
+
+
+class TestStreamSegment:
+    def test_num_frames_inclusive(self):
+        assert StreamSegment(5, 9).num_frames == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamSegment(-1, 5)
+        with pytest.raises(ValueError):
+            StreamSegment(5, 4)
+
+    def test_intersect(self):
+        a, b = StreamSegment(0, 10), StreamSegment(5, 20)
+        inter = a.intersect(b)
+        assert (inter.start, inter.end) == (5, 10)
+        assert StreamSegment(0, 4).intersect(StreamSegment(5, 9)) is None
+
+    def test_frames(self):
+        assert list(StreamSegment(2, 4).frames()) == [2, 3, 4]
+
+
+class TestVideoStream:
+    def make(self):
+        sched = EventSchedule(1000, [EventInstance(100, 199, ET)])
+        return VideoStream(1000, sched, fps=25.0, seed=3, name="s")
+
+    def test_validation(self):
+        sched = EventSchedule(10, [])
+        with pytest.raises(ValueError):
+            VideoStream(20, sched)
+        with pytest.raises(ValueError):
+            VideoStream(10, sched, fps=0)
+
+    def test_len_and_repr(self):
+        stream = self.make()
+        assert len(stream) == 1000
+        assert "s" in repr(stream)
+
+    def test_observation_rng_deterministic(self):
+        stream = self.make()
+        a = stream.observation_rng(1).normal(size=5)
+        b = stream.observation_rng(1).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_observation_rng_salt_differs(self):
+        stream = self.make()
+        a = stream.observation_rng(1).normal(size=5)
+        b = stream.observation_rng(2).normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_segment_clamped(self):
+        seg = self.make().segment(-5, 5000)
+        assert (seg.start, seg.end) == (0, 999)
+
+    def test_segment_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            self.make().segment(10, 5)
+
+    def test_occupancy_fraction(self):
+        assert self.make().occupancy_fraction(ET) == pytest.approx(0.1)
+
+    def test_duration_seconds(self):
+        assert self.make().duration_seconds() == pytest.approx(40.0)
+
+
+class TestDatasetSpecs:
+    def test_paper_defaults(self):
+        virat = make_virat(scale=1.0)
+        assert virat.window_size == 25 and virat.horizon == 500
+        thumos = make_thumos(scale=1.0)
+        assert thumos.window_size == 10 and thumos.horizon == 200
+        breakfast = make_breakfast(scale=1.0)
+        assert breakfast.window_size == 50 and breakfast.horizon == 500
+
+    def test_event_ids(self):
+        assert make_virat().event_ids == ("E1", "E2", "E3", "E4", "E5", "E6")
+        assert make_thumos().event_ids == ("E7", "E8", "E9")
+        assert make_breakfast().event_ids == ("E10", "E11", "E12")
+
+    def test_scale_shrinks_counts_and_length(self):
+        full, small = make_virat(1.0), make_virat(0.1)
+        assert small.length < full.length
+        assert small.occurrences["E1"] < full.occurrences["E1"]
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            make_virat(scale=0.0)
+        with pytest.raises(ValueError):
+            make_virat(scale=1.5)
+
+    def test_with_events_subsets(self):
+        spec = make_virat(0.1).with_events(["E1", "E5"])
+        assert spec.event_ids == ("E1", "E5")
+        assert set(spec.occurrences) == {"E1", "E5"}
+
+    def test_with_events_rejects_foreign(self):
+        with pytest.raises(ValueError):
+            make_thumos(0.1).with_events(["E1"])
+
+    def test_make_dataset_factory(self):
+        assert make_dataset("VIRAT", 0.1).name == "virat"
+        with pytest.raises(ValueError):
+            make_dataset("imagenet")
+
+    def test_group_partitions_cover_all_events(self):
+        all_ids = {row.event_id for row in TABLE1_ROWS}
+        assert GROUP1_EVENTS | GROUP2_EVENTS == all_ids
+        assert not GROUP1_EVENTS & GROUP2_EVENTS
+
+    def test_group2_has_lower_predictability(self):
+        g1 = min(EVENT_TYPES[e].predictability for e in GROUP1_EVENTS)
+        g2 = max(EVENT_TYPES[e].predictability for e in GROUP2_EVENTS)
+        assert g1 > g2
+
+
+class TestBuildScheduleAndStream:
+    def test_exact_occurrence_counts(self):
+        spec = make_virat(scale=0.1)
+        stream = make_stream(spec, seed=0)
+        for event_id in spec.event_ids:
+            assert (
+                stream.schedule.occurrence_count(EVENT_TYPES[event_id])
+                == spec.occurrences[event_id]
+            )
+
+    def test_duration_stats_close_to_table1(self):
+        spec = make_virat(scale=0.5).with_events(["E4"])
+        stream = make_stream(spec, seed=1)
+        mean, std = stream.schedule.duration_stats(EVENT_TYPES["E4"])
+        assert abs(mean - 145.1) / 145.1 < 0.15
+        assert abs(std - 35.1) / 35.1 < 0.5
+
+    def test_streams_reproducible(self):
+        spec = make_thumos(scale=0.2)
+        a = make_stream(spec, seed=5)
+        b = make_stream(spec, seed=5)
+        assert [i.start for i in a.schedule.all_instances()] == [
+            i.start for i in b.schedule.all_instances()
+        ]
+
+    def test_different_seeds_differ(self):
+        spec = make_thumos(scale=0.2)
+        a = make_stream(spec, seed=1)
+        b = make_stream(spec, seed=2)
+        assert [i.start for i in a.schedule.all_instances()] != [
+            i.start for i in b.schedule.all_instances()
+        ]
+
+    def test_no_same_type_overlap(self):
+        spec = make_virat(scale=0.3)
+        schedule = build_schedule(spec, np.random.default_rng(0))
+        for event_id in spec.event_ids:
+            insts = schedule.instances_of(EVENT_TYPES[event_id])
+            for prev, cur in zip(insts, insts[1:]):
+                assert cur.start > prev.end
+
+    def test_needle_in_haystack_occupancy(self):
+        """Every single event type occupies a minority of the stream."""
+        for factory in (make_virat, make_thumos, make_breakfast):
+            spec = factory(scale=0.2)
+            stream = make_stream(spec, seed=0)
+            for event_id in spec.event_ids:
+                assert stream.occupancy_fraction(EVENT_TYPES[event_id]) < 0.5
+
+
+class TestTable1Stats:
+    def test_rows_cover_all_events(self):
+        rows = table1_stats(scale=0.2)
+        assert {r["event"] for r in rows} == {row.event_id for row in TABLE1_ROWS}
+
+    def test_full_scale_counts_match_paper(self):
+        rows = table1_stats(scale=1.0)
+        for row in rows:
+            assert row["measured_occurrences"] == row["paper_occurrences"]
+
+    def test_full_scale_duration_means_close(self):
+        rows = table1_stats(scale=1.0)
+        for row in rows:
+            rel = abs(row["measured_duration_avg"] - row["paper_duration_avg"])
+            rel /= row["paper_duration_avg"]
+            assert rel < 0.2, row

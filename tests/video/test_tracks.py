@@ -1,0 +1,124 @@
+"""Tests for simulated object tracks."""
+
+import numpy as np
+import pytest
+
+from repro.video import Track, TrackSet, simulate_tracks
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import VideoStream
+from repro.video.tracks import SCENE_RADIUS
+
+ET = EventType("gate", duration_mean=40, duration_std=4, lead_time=100,
+               predictability=0.9)
+
+
+def make_stream(seed=0):
+    instances = [EventInstance(500, 539, ET), EventInstance(1500, 1539, ET)]
+    return VideoStream(2500, EventSchedule(2500, instances), seed=seed)
+
+
+class TestTrack:
+    def make(self):
+        positions = np.stack([np.linspace(10, 0, 11), np.zeros(11)], axis=1)
+        return Track(0, "actor", start=5, end=15, positions=positions,
+                     event_name="gate")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Track(0, "actor", start=5, end=4, positions=np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            Track(0, "actor", start=0, end=4, positions=np.zeros((3, 2)))
+
+    def test_alive_and_position(self):
+        track = self.make()
+        assert track.alive_at(5) and track.alive_at(15)
+        assert not track.alive_at(4) and not track.alive_at(16)
+        np.testing.assert_allclose(track.position_at(5), [10, 0])
+        np.testing.assert_allclose(track.position_at(15), [0, 0])
+        with pytest.raises(ValueError):
+            track.position_at(100)
+
+    def test_speed(self):
+        track = self.make()
+        assert track.speed_at(5) == 0.0  # birth frame
+        assert track.speed_at(6) == pytest.approx(1.0)
+
+    def test_distance_to_anchor(self):
+        track = self.make()
+        assert track.distance_to_anchor_at(5) == pytest.approx(10.0)
+        assert track.distance_to_anchor_at(15) == pytest.approx(0.0)
+
+    def test_duration(self):
+        assert self.make().duration == 11
+
+
+class TestTrackSet:
+    def test_validation(self):
+        track = Track(0, "actor", 0, 4, np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            TrackSet(3, [track])
+        with pytest.raises(ValueError):
+            TrackSet(0, [])
+
+    def test_alive_at_and_filter(self):
+        a = Track(0, "actor", 0, 10, np.zeros((11, 2)))
+        c = Track(1, "clutter", 5, 20, np.zeros((16, 2)))
+        ts = TrackSet(30, [a, c])
+        assert len(ts.alive_at(7)) == 2
+        assert len(ts.alive_at(7, label="actor")) == 1
+        assert len(ts.alive_at(15)) == 1
+        with pytest.raises(ValueError):
+            ts.alive_at(99)
+
+    def test_count_series(self):
+        a = Track(0, "actor", 0, 4, np.zeros((5, 2)))
+        ts = TrackSet(10, [a])
+        counts = ts.count_series()
+        np.testing.assert_array_equal(counts[:5], np.ones(5))
+        np.testing.assert_array_equal(counts[5:], np.zeros(5))
+
+    def test_min_anchor_distance_series_default(self):
+        ts = TrackSet(5, [])
+        np.testing.assert_array_equal(
+            ts.min_anchor_distance_series(), np.full(5, SCENE_RADIUS)
+        )
+
+    def test_mean_speed_series_zero_when_empty(self):
+        ts = TrackSet(5, [])
+        np.testing.assert_array_equal(ts.mean_speed_series(), np.zeros(5))
+
+
+class TestSimulateTracks:
+    def test_one_actor_per_instance(self):
+        stream = make_stream()
+        tracks = simulate_tracks(stream, [ET], clutter_per_10k_frames=0)
+        actors = [t for t in tracks.tracks if t.label == "actor"]
+        assert len(actors) == 2
+        assert all(t.event_name == "gate" for t in actors)
+
+    def test_actor_approaches_anchor_before_onset(self):
+        stream = make_stream()
+        tracks = simulate_tracks(stream, [ET], clutter_per_10k_frames=0)
+        actor = next(t for t in tracks.tracks if t.start <= 500 <= t.end)
+        far = actor.distance_to_anchor_at(max(actor.start, 500 - 90))
+        near = actor.distance_to_anchor_at(505)
+        assert near < far
+        assert near < 10.0  # dwelling at the anchor during the event
+
+    def test_clutter_density(self):
+        stream = make_stream()
+        tracks = simulate_tracks(stream, [ET], clutter_per_10k_frames=20)
+        clutter = [t for t in tracks.tracks if t.label == "clutter"]
+        assert len(clutter) == round(20 * 2500 / 10_000)
+
+    def test_deterministic(self):
+        a = simulate_tracks(make_stream(seed=4), [ET])
+        b = simulate_tracks(make_stream(seed=4), [ET])
+        np.testing.assert_array_equal(a.tracks[0].positions,
+                                      b.tracks[0].positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_tracks(make_stream(), [])
+        with pytest.raises(ValueError):
+            simulate_tracks(make_stream(), [ET], clutter_per_10k_frames=-1)
