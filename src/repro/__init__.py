@@ -27,6 +27,7 @@ Package map:
 ``repro.cloud``     simulated CI: pricing, detection service, marshaller
 ``repro.metrics``   REC/SPL/REC_c/REC_r, expense, FPS timing model
 ``repro.harness``   tasks TA1–TA16, experiment runner, figure generators
+``repro.obs``       structured logs, metrics registry, span tracing
 ==================  ====================================================
 """
 
@@ -53,6 +54,7 @@ from .harness import (
 )
 from .metrics import evaluate
 from .video import make_breakfast, make_dataset, make_stream, make_thumos, make_virat
+from . import obs
 
 __version__ = "1.0.0"
 
@@ -84,5 +86,6 @@ __all__ = [
     "make_breakfast",
     "make_dataset",
     "make_stream",
+    "obs",
     "__version__",
 ]

@@ -13,9 +13,14 @@ reachable from the shell::
     python -m repro.cli fig10 --task TA10          # stage breakdown
     python -m repro.cli evaluate --task TA10 --algorithm EHCR \
         --confidence 0.95 --alpha 0.9
+    python -m repro.cli metrics --task TA10 --algorithm EHCR
 
 All experiment-backed commands accept ``--scale/--epochs/--records/--seed``
-to size the synthetic workload.
+to size the synthetic workload, plus the observability flags
+``--log-level LEVEL`` (structured JSON-lines logs on stderr) and
+``--trace-out FILE`` (stream nested span records as JSON lines).  The
+``metrics`` command runs one instrumented evaluation and renders the
+metrics registry plus the §VI.H per-stage time shares.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from . import obs
 from .harness import (
     ExperimentSettings,
     fig10_stage_breakdown,
@@ -50,6 +56,23 @@ def _add_experiment_args(parser: argparse.ArgumentParser, default_task: str) -> 
     parser.add_argument("--records", type=int, default=350,
                         help="max records per split")
     parser.add_argument("--seed", type=int, default=0)
+    _add_obs_args(parser)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=sorted(obs.LEVELS),
+        help="structured-log threshold (JSON lines on stderr)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="stream span records to FILE as JSON lines "
+        "(implies instrumentation on)",
+    )
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -88,21 +111,43 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "fig10":
             cmd.add_argument("--rec-target", type=float, default=0.9)
 
-    evaluate = sub.add_parser(
-        "evaluate", help="evaluate one algorithm at one knob setting"
-    )
-    _add_experiment_args(evaluate, "TA10")
-    evaluate.add_argument(
-        "--algorithm",
-        default="EHCR",
-        choices=["EHO", "EHC", "EHR", "EHCR", "OPT", "BF", "COX", "VQS", "APP-VAE"],
-    )
-    evaluate.add_argument("--confidence", type=float, default=None,
-                          help="C-CLASSIFY confidence c (EHC/EHCR)")
-    evaluate.add_argument("--alpha", type=float, default=None,
-                          help="C-REGRESS coverage alpha (EHR/EHCR)")
-    evaluate.add_argument("--tau", type=float, default=None,
-                          help="threshold for COX/VQS")
+    for name, description in (
+        ("evaluate", "evaluate one algorithm at one knob setting"),
+        (
+            "metrics",
+            "run one instrumented evaluation and render the metrics "
+            "registry and per-stage time shares",
+        ),
+    ):
+        cmd = sub.add_parser(name, help=description)
+        _add_experiment_args(cmd, "TA10")
+        cmd.add_argument(
+            "--algorithm",
+            default="EHCR",
+            choices=["EHO", "EHC", "EHR", "EHCR", "OPT", "BF", "COX", "VQS",
+                     "APP-VAE"],
+        )
+        cmd.add_argument("--confidence", type=float, default=None,
+                         help="C-CLASSIFY confidence c (EHC/EHCR)")
+        cmd.add_argument("--alpha", type=float, default=None,
+                         help="C-REGRESS coverage alpha (EHR/EHCR)")
+        cmd.add_argument("--tau", type=float, default=None,
+                         help="threshold for COX/VQS")
+        if name == "metrics":
+            cmd.add_argument(
+                "--json-out",
+                default=None,
+                metavar="FILE",
+                help="also dump the registry snapshot as JSON to FILE",
+            )
+            cmd.add_argument(
+                "--from",
+                dest="from_file",
+                default=None,
+                metavar="FILE",
+                help="render a previously saved --json-out snapshot "
+                "instead of running an evaluation",
+            )
     return parser
 
 
@@ -130,8 +175,7 @@ def _run_figure(args: argparse.Namespace, out) -> None:
             print(f"{key}: {props[key]:.4f}", file=out)
 
 
-def _run_evaluate(args: argparse.Namespace, out) -> None:
-    experiment = run_experiment(args.task, settings=_settings(args))
+def _knobs(args: argparse.Namespace) -> dict:
     knobs = {}
     if args.confidence is not None:
         knobs["confidence"] = args.confidence
@@ -139,25 +183,81 @@ def _run_evaluate(args: argparse.Namespace, out) -> None:
         knobs["alpha"] = args.alpha
     if args.tau is not None:
         knobs["tau"] = args.tau
-    summary = experiment.evaluate(args.algorithm, **knobs)
+    return knobs
+
+
+def _run_evaluate(args: argparse.Namespace, out) -> None:
+    experiment = run_experiment(args.task, settings=_settings(args))
+    summary = experiment.evaluate(args.algorithm, **_knobs(args))
     for key, value in summary.as_dict().items():
         print(f"{key}: {value}", file=out)
 
 
+def _run_metrics(args: argparse.Namespace, out) -> None:
+    """Instrumented evaluation + registry/stage-share rendering."""
+    if args.from_file is not None:
+        snapshot = obs.read_metrics_json(args.from_file)
+    else:
+        obs.configure(enabled=True)
+        obs.get_registry().reset()  # fresh books for this run
+        experiment = run_experiment(args.task, settings=_settings(args))
+        experiment.evaluate(args.algorithm, **_knobs(args))
+        snapshot = obs.get_registry().snapshot()
+        if args.json_out is not None:
+            obs.write_metrics_json(args.json_out)
+    print(obs.render_registry(snapshot=snapshot), file=out)
+    print(file=out)
+    print("== stage time shares (analytic timing model) ==", file=out)
+    print(obs.render_stage_shares(snapshot=snapshot), file=out)
+    totals = obs.get_tracer().stage_totals()
+    if totals:
+        print(file=out)
+        print("== span wall-clock totals ==", file=out)
+        print(obs.render_trace_totals(), file=out)
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Observability flags are applied before the command runs; any failure
+    inside a command is logged as a structured ``cli.error`` event and
+    surfaces as exit code 1 (argparse's own ``SystemExit`` codes pass
+    through untouched).
+    """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "tasks":
-        print(format_table(table2_rows()), file=out)
-    elif args.command == "table1":
-        print(format_table(table1_rows(scale=args.scale, seed=args.seed)), file=out)
-    elif args.command in {"fig4", "fig5", "fig6", "fig8", "fig9", "fig10"}:
-        _run_figure(args, out)
-    elif args.command == "evaluate":
-        _run_evaluate(args, out)
-    else:  # pragma: no cover - argparse enforces choices
-        raise SystemExit(f"unknown command {args.command!r}")
+    owns_trace = getattr(args, "trace_out", None) is not None
+    try:
+        obs.configure(
+            log_level=getattr(args, "log_level", None),
+            trace_out=getattr(args, "trace_out", None),
+        )
+        if args.command == "tasks":
+            print(format_table(table2_rows()), file=out)
+        elif args.command == "table1":
+            print(
+                format_table(table1_rows(scale=args.scale, seed=args.seed)),
+                file=out,
+            )
+        elif args.command in {"fig4", "fig5", "fig6", "fig8", "fig9", "fig10"}:
+            _run_figure(args, out)
+        elif args.command == "evaluate":
+            _run_evaluate(args, out)
+        elif args.command == "metrics":
+            _run_metrics(args, out)
+        else:  # pragma: no cover - argparse enforces choices
+            raise SystemExit(f"unknown command {args.command!r}")
+    except Exception as exc:
+        obs.log_error(
+            "cli.error",
+            command=args.command,
+            error=repr(exc),
+            error_type=type(exc).__name__,
+        )
+        return 1
+    finally:
+        if owns_trace:
+            obs.shutdown()
     return 0
 
 

@@ -22,6 +22,7 @@ from ..core.inference import extract_interval_segments, extract_intervals
 from ..core.model import EventHit
 from ..features.extractors import FeatureMatrix
 from ..features.pipeline import CovariatePipeline
+from ..obs import inc, span
 from ..video.events import EventType
 from ..video.stream import VideoStream
 from .service import CloudInferenceService, Detection
@@ -74,6 +75,48 @@ class MarshallingReport:
         """Dollars saved against sending every covered frame per event."""
         brute = self.frames_covered * price_per_frame
         return brute - self.total_cost
+
+    def merge(self, *others: "MarshallingReport") -> "MarshallingReport":
+        """Fold other reports into this one (multi-stream aggregation).
+
+        Counts and costs add; the derived ratios (``frame_recall``,
+        ``relay_fraction``) then reflect the union.  Returns ``self`` so
+        ``MarshallingReport().merge(*reports)`` builds a fresh aggregate.
+        """
+        for other in others:
+            self.horizons_evaluated += other.horizons_evaluated
+            self.frames_covered += other.frames_covered
+            self.frames_relayed += other.frames_relayed
+            self.total_cost += other.total_cost
+            self.detections.extend(other.detections)
+            self.true_event_frames += other.true_event_frames
+            self.detected_event_frames += other.detected_event_frames
+        return self
+
+    @classmethod
+    def merged(cls, reports: Sequence["MarshallingReport"]) -> "MarshallingReport":
+        """A new report aggregating ``reports`` (inputs untouched)."""
+        return cls().merge(*reports)
+
+    def to_dict(self, include_detections: bool = False) -> Dict[str, object]:
+        """One serialization path shared by exporters and harness rollups."""
+        out: Dict[str, object] = {
+            "horizons_evaluated": self.horizons_evaluated,
+            "frames_covered": self.frames_covered,
+            "frames_relayed": self.frames_relayed,
+            "total_cost": self.total_cost,
+            "true_event_frames": self.true_event_frames,
+            "detected_event_frames": self.detected_event_frames,
+            "num_detections": len(self.detections),
+            "frame_recall": self.frame_recall,
+            "relay_fraction": self.relay_fraction,
+        }
+        if include_detections:
+            out["detections"] = [
+                {"event": d.event_name, "start": d.start, "end": d.end}
+                for d in self.detections
+            ]
+        return out
 
 
 class StreamMarshaller:
@@ -173,9 +216,12 @@ class StreamMarshaller:
                     widened.append(_merge_runs(adjusted))
                 raw = widened
             segments = [runs if exists[0, k] else [] for k, runs in enumerate(raw)]
+            if self.regressor is not None:
+                inc("marshal.widenings", sum(len(runs) for runs in segments))
             return exists, segments
 
         if self.regressor is not None:
+            inc("marshal.widenings", int(exists.sum()))
             batch = self.regressor.predict(output, exists, self.alpha)
             starts, ends = batch.starts, batch.ends
         else:
@@ -205,40 +251,58 @@ class StreamMarshaller:
         if frame < self.pipeline.min_frame():
             raise ValueError("start_frame leaves no room for the collection window")
 
-        while frame + horizon < stream.length:
-            if max_horizons is not None and report.horizons_evaluated >= max_horizons:
-                break
-            window = self.pipeline.covariates_at(features, frame)
-            output = self.model.predict(window[None])
-            exists, segments = self._decide(output)
+        cost_before = service.ledger.total_cost
+        with span("marshal.run", start_frame=frame, horizon=horizon):
+            while frame + horizon < stream.length:
+                if (
+                    max_horizons is not None
+                    and report.horizons_evaluated >= max_horizons
+                ):
+                    break
+                with span("marshal.horizon", frame=frame):
+                    window = self.pipeline.covariates_at(features, frame)
+                    output = self.model.predict(window[None])
+                    exists, segments = self._decide(output)
 
-            for k, event_type in enumerate(self.event_types):
-                # Ground truth within this horizon, for recall accounting.
-                horizon_truth = stream.schedule.events_in_horizon(
-                    event_type, frame, horizon
-                )
-                truth_frames = set()
-                for ev in horizon_truth:
-                    truth_frames.update(
-                        range(frame + ev.start_offset, frame + ev.end_offset + 1)
-                    )
-                report.true_event_frames += len(truth_frames)
+                    for k, event_type in enumerate(self.event_types):
+                        # Ground truth within this horizon, for recall
+                        # accounting.
+                        horizon_truth = stream.schedule.events_in_horizon(
+                            event_type, frame, horizon
+                        )
+                        truth_frames = set()
+                        for ev in horizon_truth:
+                            truth_frames.update(
+                                range(
+                                    frame + ev.start_offset,
+                                    frame + ev.end_offset + 1,
+                                )
+                            )
+                        report.true_event_frames += len(truth_frames)
 
-                covered = set()
-                for start_offset, end_offset in segments[k]:
-                    segment = stream.segment(
-                        frame + start_offset, frame + end_offset
-                    )
-                    detections = service.detect(segment, event_type)
-                    report.detections.extend(detections)
-                    report.frames_relayed += segment.num_frames
-                    for det in detections:
-                        covered.update(range(det.start, det.end + 1))
-                report.detected_event_frames += len(covered & truth_frames)
+                        covered = set()
+                        for start_offset, end_offset in segments[k]:
+                            segment = stream.segment(
+                                frame + start_offset, frame + end_offset
+                            )
+                            detections = service.detect(segment, event_type)
+                            report.detections.extend(detections)
+                            report.frames_relayed += segment.num_frames
+                            for det in detections:
+                                covered.update(range(det.start, det.end + 1))
+                        report.detected_event_frames += len(covered & truth_frames)
 
-            report.horizons_evaluated += 1
-            report.frames_covered += horizon
-            frame += horizon
+                    report.horizons_evaluated += 1
+                    report.frames_covered += horizon
+                    frame += horizon
 
         report.total_cost = service.ledger.total_cost
+        inc("marshal.horizons", report.horizons_evaluated)
+        inc("marshal.frames_covered", report.frames_covered)
+        inc("marshal.frames_relayed", report.frames_relayed)
+        inc("marshal.cost", report.total_cost - cost_before)
+        inc("stage.frames_covered", report.frames_covered)
+        inc("stage.frames_featurized", report.frames_covered)
+        inc("stage.predictions", report.horizons_evaluated)
+        inc("stage.frames_relayed", report.frames_relayed)
         return report

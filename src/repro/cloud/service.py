@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import inc, observe, span
 from ..video.events import EventType
 from ..video.stream import StreamSegment, VideoStream
 from .pricing import FlatPricing, PricingModel
@@ -106,22 +107,28 @@ class CloudInferenceService:
                 f"length {self.stream.length}"
             )
         frames = segment.num_frames
-        cost = self.pricing.cost(self.ledger.frames_processed + frames) - (
-            self.pricing.cost(self.ledger.frames_processed)
-        )
-        self.ledger.charge(event_type.name, frames, cost)
-        self._simulated_seconds += frames / self.ci_fps
+        with span("ci.detect", event=event_type.name, frames=frames) as call:
+            cost = self.pricing.cost(self.ledger.frames_processed + frames) - (
+                self.pricing.cost(self.ledger.frames_processed)
+            )
+            self.ledger.charge(event_type.name, frames, cost)
+            self._simulated_seconds += frames / self.ci_fps
 
-        detections: List[Detection] = []
-        for instance in self.stream.schedule.instances_of(event_type):
-            if instance.overlaps(segment.start, segment.end):
-                detections.append(
-                    Detection(
-                        event_name=event_type.name,
-                        start=max(instance.start, segment.start),
-                        end=min(instance.end, segment.end),
+            detections: List[Detection] = []
+            for instance in self.stream.schedule.instances_of(event_type):
+                if instance.overlaps(segment.start, segment.end):
+                    detections.append(
+                        Detection(
+                            event_name=event_type.name,
+                            start=max(instance.start, segment.start),
+                            end=min(instance.end, segment.end),
+                        )
                     )
-                )
+        observe("ci.call_seconds", call.seconds)
+        inc("ci.requests")
+        inc("ci.frames", frames)
+        inc("ci.cost", cost)
+        inc("ci.simulated_seconds", frames / self.ci_fps)
         return detections
 
     def detect_many(

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.model import EventHit, EventHitOutput
 from ..data.records import RecordSet
+from ..obs import span
 from .base import conformal_p_values, nonconformity_from_score
 
 __all__ = ["ConformalClassifier"]
@@ -71,23 +72,24 @@ class ConformalClassifier:
                 f"calibration has {calibration.num_events} events, model "
                 f"has {self.model.num_events}"
             )
-        output = self.model.predict(calibration.covariates)
-        scores = self.nonconformity(output.scores)  # (C, K)
-        calibrations: List[_EventCalibration] = []
-        for k in range(calibration.num_events):
-            positive = calibration.labels[:, k] > 0
-            if not positive.any():
-                raise ValueError(
-                    f"calibration set has no positive records for event "
-                    f"index {k}; cannot calibrate"
+        with span("calibrate.classify", records=len(calibration)):
+            output = self.model.predict(calibration.covariates)
+            scores = self.nonconformity(output.scores)  # (C, K)
+            calibrations: List[_EventCalibration] = []
+            for k in range(calibration.num_events):
+                positive = calibration.labels[:, k] > 0
+                if not positive.any():
+                    raise ValueError(
+                        f"calibration set has no positive records for event "
+                        f"index {k}; cannot calibrate"
+                    )
+                calibrations.append(
+                    _EventCalibration(
+                        nonconformity=np.sort(scores[positive, k]),
+                        num_positives=int(positive.sum()),
+                    )
                 )
-            calibrations.append(
-                _EventCalibration(
-                    nonconformity=np.sort(scores[positive, k]),
-                    num_positives=int(positive.sum()),
-                )
-            )
-        self._calibrations = calibrations
+            self._calibrations = calibrations
         return self
 
     # ------------------------------------------------------------------

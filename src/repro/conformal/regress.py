@@ -21,6 +21,7 @@ import numpy as np
 from ..core.inference import PredictionBatch, extract_intervals
 from ..core.model import EventHit, EventHitOutput
 from ..data.records import RecordSet
+from ..obs import span
 from .base import residual_quantile
 
 __all__ = ["ConformalRegressor"]
@@ -65,29 +66,32 @@ class ConformalRegressor:
                 f"calibration has {calibration.num_events} events, model "
                 f"has {self.model.num_events}"
             )
-        output = self.model.predict(calibration.covariates)
-        pred_starts, pred_ends = extract_intervals(output.frame_scores, self.tau2)
-        residuals: List[_EventResiduals] = []
-        for k in range(calibration.num_events):
-            positive = calibration.labels[:, k] > 0
-            if not positive.any():
-                raise ValueError(
-                    f"calibration set has no positive records for event "
-                    f"index {k}; cannot calibrate"
+        with span("calibrate.regress", records=len(calibration)):
+            output = self.model.predict(calibration.covariates)
+            pred_starts, pred_ends = extract_intervals(
+                output.frame_scores, self.tau2
+            )
+            residuals: List[_EventResiduals] = []
+            for k in range(calibration.num_events):
+                positive = calibration.labels[:, k] > 0
+                if not positive.any():
+                    raise ValueError(
+                        f"calibration set has no positive records for event "
+                        f"index {k}; cannot calibrate"
+                    )
+                start_res = np.abs(
+                    pred_starts[positive, k] - calibration.starts[positive, k]
                 )
-            start_res = np.abs(
-                pred_starts[positive, k] - calibration.starts[positive, k]
-            )
-            end_res = np.abs(
-                pred_ends[positive, k] - calibration.ends[positive, k]
-            )
-            residuals.append(
-                _EventResiduals(
-                    start_residuals=np.sort(start_res.astype(float)),
-                    end_residuals=np.sort(end_res.astype(float)),
+                end_res = np.abs(
+                    pred_ends[positive, k] - calibration.ends[positive, k]
                 )
-            )
-        self._residuals = residuals
+                residuals.append(
+                    _EventResiduals(
+                        start_residuals=np.sort(start_res.astype(float)),
+                        end_residuals=np.sort(end_res.astype(float)),
+                    )
+                )
+            self._residuals = residuals
         return self
 
     # ------------------------------------------------------------------

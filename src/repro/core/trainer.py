@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -10,6 +9,7 @@ import numpy as np
 
 from ..data.records import RecordSet
 from ..nn import Adam, clip_grad_norm, no_grad, total_loss
+from ..obs import log_info, observe, set_gauge, span
 from .config import EventHitConfig
 from .model import EventHit
 
@@ -25,6 +25,7 @@ class TrainingHistory:
     learning_rates: List[float] = field(default_factory=list)
     epochs_run: int = 0
     seconds: float = 0.0
+    epoch_seconds: List[float] = field(default_factory=list)
     stopped_early: bool = False
 
     @property
@@ -108,48 +109,62 @@ class Trainer:
         history = TrainingHistory()
         best_val = float("inf")
         bad_epochs = 0
-        start = time.perf_counter()
 
         self.model.train()
-        for epoch in range(cfg.epochs):
-            epoch_loss, seen = 0.0, 0
-            for batch in train.batches(cfg.batch_size, rng=rng):
-                optimizer.zero_grad()
-                loss = self._batch_loss(batch)
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                optimizer.step()
-                epoch_loss += loss.item() * len(batch)
-                seen += len(batch)
-            history.train_losses.append(epoch_loss / max(seen, 1))
-            history.epochs_run = epoch + 1
-            if scheduler is not None:
-                history.learning_rates.append(scheduler.step())
+        with span("train", epochs=cfg.epochs, records=len(train)) as train_span:
+            for epoch in range(cfg.epochs):
+                with span("train.epoch", epoch=epoch + 1) as epoch_span:
+                    epoch_loss, seen = 0.0, 0
+                    for batch in train.batches(cfg.batch_size, rng=rng):
+                        optimizer.zero_grad()
+                        loss = self._batch_loss(batch)
+                        loss.backward()
+                        grad_norm = clip_grad_norm(
+                            self.model.parameters(), cfg.grad_clip
+                        )
+                        observe("train.grad_norm", grad_norm)
+                        optimizer.step()
+                        epoch_loss += loss.item() * len(batch)
+                        seen += len(batch)
+                    history.train_losses.append(epoch_loss / max(seen, 1))
+                    history.epochs_run = epoch + 1
+                    if scheduler is not None:
+                        history.learning_rates.append(scheduler.step())
+                        set_gauge("train.lr", history.learning_rates[-1])
+                    set_gauge("train.loss", history.train_losses[-1])
 
-            if validation is not None:
-                val_loss = self.evaluate_loss(validation)
-                history.val_losses.append(val_loss)
-                if self.patience is not None:
-                    if val_loss < best_val - 1e-6:
-                        best_val = val_loss
-                        bad_epochs = 0
-                    else:
-                        bad_epochs += 1
-                        if bad_epochs >= self.patience:
-                            history.stopped_early = True
-                            break
-            if verbose:
-                tail = (
-                    f" val={history.val_losses[-1]:.4f}"
-                    if history.val_losses
-                    else ""
-                )
-                print(
-                    f"epoch {epoch + 1}/{cfg.epochs} "
-                    f"train={history.train_losses[-1]:.4f}{tail}"
-                )
+                    stop = False
+                    if validation is not None:
+                        val_loss = self.evaluate_loss(validation)
+                        history.val_losses.append(val_loss)
+                        set_gauge("train.val_loss", val_loss)
+                        if self.patience is not None:
+                            if val_loss < best_val - 1e-6:
+                                best_val = val_loss
+                                bad_epochs = 0
+                            else:
+                                bad_epochs += 1
+                                if bad_epochs >= self.patience:
+                                    history.stopped_early = True
+                                    stop = True
+                history.epoch_seconds.append(epoch_span.seconds)
+                if verbose:
+                    log_info(
+                        "train.epoch",
+                        _force=True,
+                        epoch=epoch + 1,
+                        epochs=cfg.epochs,
+                        train_loss=round(history.train_losses[-1], 6),
+                        **(
+                            {"val_loss": round(history.val_losses[-1], 6)}
+                            if history.val_losses
+                            else {}
+                        ),
+                    )
+                if stop:
+                    break
 
-        history.seconds = time.perf_counter() - start
+        history.seconds = train_span.seconds
         self.model.eval()
         return history
 

@@ -35,6 +35,7 @@ from ..conformal import ConformalClassifier, ConformalRegressor
 from ..core import EventHitConfig, train_eventhit
 from ..data import ExperimentData, build_experiment_data
 from ..metrics import EvaluationSummary, evaluate
+from ..obs import inc, log_info, span
 from .tasks import Task, get_task
 
 __all__ = ["ExperimentSettings", "Experiment", "CurvePoint", "run_experiment"]
@@ -171,8 +172,38 @@ class Experiment:
         return predictor.predict(self.data.test, **knobs)
 
     def evaluate(self, name: str, **knobs) -> EvaluationSummary:
-        """Evaluate one algorithm at one knob setting on the test split."""
-        return evaluate(self._predict(name, **knobs), self.data.test)
+        """Evaluate one algorithm at one knob setting on the test split.
+
+        Instrumented as one marshalling pass over the test records: the
+        predictor run is the ``marshal`` stage, the (simulated) cloud model
+        over the relayed frames is the ``ci`` stage, and the ``stage.*``
+        work counters feed the §VI.H time-share accounting that
+        ``python -m repro.cli metrics`` renders.
+        """
+        records = self.data.test
+        with span("marshal", algorithm=name.upper(), records=len(records)):
+            prediction = self._predict(name, **knobs)
+        frames_covered = len(records) * records.horizon
+        frames_relayed = int(prediction.predicted_frames().sum())
+        with span(
+            "ci",
+            algorithm=name.upper(),
+            frames_relayed=frames_relayed,
+        ):
+            summary = evaluate(prediction, records)
+        inc("stage.frames_covered", frames_covered)
+        inc("stage.frames_featurized", frames_covered)
+        inc("stage.predictions", len(records))
+        inc("stage.frames_relayed", frames_relayed)
+        log_info(
+            "experiment.evaluate",
+            task=self.task.task_id,
+            algorithm=name.upper(),
+            rec=summary.rec,
+            spl=summary.spl,
+            **knobs,
+        )
+        return summary
 
     def curve(
         self, name: str, knob: str, values: Sequence[float]
@@ -214,17 +245,31 @@ def run_experiment(
     settings = settings or ExperimentSettings()
     if isinstance(task, str):
         task = get_task(task)
-    spec = spec_override if spec_override is not None else task.spec(settings.scale)
-    data = build_experiment_data(
-        spec,
-        seed=settings.seed,
-        stride=settings.stride,
-        max_records=settings.max_records,
+    with span("experiment", task=task.task_id, scale=settings.scale):
+        spec = (
+            spec_override if spec_override is not None else task.spec(settings.scale)
+        )
+        with span("experiment.data", task=task.task_id):
+            data = build_experiment_data(
+                spec,
+                seed=settings.seed,
+                stride=settings.stride,
+                max_records=settings.max_records,
+            )
+        config = settings.model_config(spec.window_size, spec.horizon)
+        # train_eventhit opens the "train" span; the conformal components
+        # open "calibrate.classify" / "calibrate.regress".
+        model, history = train_eventhit(data.train, config=config, encoder=encoder)
+        classifier = ConformalClassifier(model).calibrate(data.calibration)
+        regressor = ConformalRegressor(model).calibrate(data.calibration)
+    log_info(
+        "experiment.ready",
+        task=task.task_id,
+        train_records=len(data.train),
+        epochs_run=history.epochs_run,
+        train_seconds=round(history.seconds, 3),
+        final_train_loss=history.final_train_loss,
     )
-    config = settings.model_config(spec.window_size, spec.horizon)
-    model, _ = train_eventhit(data.train, config=config, encoder=encoder)
-    classifier = ConformalClassifier(model).calibrate(data.calibration)
-    regressor = ConformalRegressor(model).calibrate(data.calibration)
     return Experiment(
         task=task,
         data=data,

@@ -1,0 +1,188 @@
+"""``repro.obs`` — observability substrate for the marshalling pipeline.
+
+The paper's contribution is an accounting argument (which stage eats the
+time and money — §VI.H, Figs. 8–10), so the reproduction carries its own
+runtime accounting: a metrics registry (counters / gauges / streaming
+histograms), nested wall-clock spans, and a structured JSON-lines logger.
+Instrumented hot paths: the trainer, the stream marshaller, the simulated
+cloud service, conformal calibration, and the experiment harness.
+
+Design rules every instrumented module relies on:
+
+* **zero third-party dependencies** — numpy and the standard library only;
+* **default-off-cheap** — with instrumentation disabled every helper here
+  is a sub-microsecond no-op (benchmarked in ``tests/obs``), so the tier-1
+  suite and library users pay nothing;
+* **thread-safe** — per-thread span stacks, locked metrics — because later
+  PRs parallelise the harness.
+
+Typical use::
+
+    from repro import obs
+
+    obs.configure(enabled=True, log_level="info", trace_out="trace.jsonl")
+    ...  # run experiments; spans/counters/logs collect themselves
+    text = obs.render_registry()          # human-readable tables
+    obs.write_metrics_json("metrics.json")
+    obs.shutdown()                        # flush + close the trace file
+
+or from the shell: ``python -m repro.cli metrics --task TA10`` and the
+``--trace-out`` / ``--log-level`` flags on every experiment command.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO, Union
+
+from . import _state
+from .export import (
+    STAGE_COUNTERS,
+    read_metrics_json,
+    render_registry,
+    render_stage_shares,
+    render_table,
+    render_trace_totals,
+    stage_timing_from_counters,
+    write_metrics_json,
+)
+from .logger import (
+    LEVELS,
+    StructuredLogger,
+    get_logger,
+    log_debug,
+    log_error,
+    log_event,
+    log_info,
+    log_warning,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    inc,
+    observe,
+    set_gauge,
+    set_registry,
+)
+from .spans import SpanRecord, Tracer, get_tracer, span
+
+__all__ = [
+    "configure",
+    "shutdown",
+    "reset",
+    "is_enabled",
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    # spans
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "get_tracer",
+    # logging
+    "LEVELS",
+    "StructuredLogger",
+    "get_logger",
+    "log_event",
+    "log_debug",
+    "log_info",
+    "log_warning",
+    "log_error",
+    # exporters
+    "STAGE_COUNTERS",
+    "render_table",
+    "render_registry",
+    "render_trace_totals",
+    "render_stage_shares",
+    "stage_timing_from_counters",
+    "write_metrics_json",
+    "read_metrics_json",
+]
+
+#: File handle configure() opened for --trace-out (closed by shutdown()).
+_owned_trace_file: Optional[TextIO] = None
+
+
+def is_enabled() -> bool:
+    """Whether metrics/span collection is currently on."""
+    return _state.enabled
+
+
+def configure(
+    enabled: Optional[bool] = None,
+    log_level: Optional[Union[int, str]] = None,
+    log_sink: Optional[TextIO] = None,
+    trace_out: Optional[str] = None,
+    trace_sink: Optional[TextIO] = None,
+) -> None:
+    """Global observability entry point.
+
+    Parameters
+    ----------
+    enabled:
+        Turn metrics + span collection on/off.  Defaults to leaving the
+        switch alone, except that requesting a trace destination implies
+        ``enabled=True`` (a trace file nobody writes to helps no one).
+    log_level:
+        Threshold for the structured logger (``"debug"``/``"info"``/
+        ``"warning"``/``"error"`` or a numeric level).
+    log_sink:
+        Text stream for log lines (default ``sys.stderr``).
+    trace_out:
+        Path to open (truncating) for streaming span JSON lines;
+        :func:`shutdown` closes it.
+    trace_sink:
+        Already-open text stream for spans (caller keeps ownership);
+        mutually exclusive with ``trace_out``.
+    """
+    global _owned_trace_file
+    if trace_out is not None and trace_sink is not None:
+        raise ValueError("pass trace_out or trace_sink, not both")
+    if log_level is not None:
+        get_logger().set_level(log_level)
+    if log_sink is not None:
+        get_logger().set_sink(log_sink)
+    if trace_out is not None:
+        if _owned_trace_file is not None:
+            _owned_trace_file.close()
+        _owned_trace_file = open(trace_out, "w", encoding="utf-8")
+        get_tracer().set_sink(_owned_trace_file)
+        if enabled is None:
+            enabled = True
+    elif trace_sink is not None:
+        get_tracer().set_sink(trace_sink)
+        if enabled is None:
+            enabled = True
+    if enabled is not None:
+        _state.enabled = bool(enabled)
+
+
+def shutdown() -> None:
+    """Detach and close any trace file configure() opened (idempotent)."""
+    global _owned_trace_file
+    get_tracer().set_sink(None)
+    if _owned_trace_file is not None:
+        _owned_trace_file.close()
+        _owned_trace_file = None
+
+
+def reset() -> None:
+    """Return observability to its import-time state (used by tests):
+    disabled, empty registry and tracer, logger back to WARNING/stderr."""
+    shutdown()
+    _state.enabled = False
+    get_registry().reset()
+    tracer = get_tracer()
+    tracer.clear()
+    logger = get_logger()
+    logger.set_level("warning")
+    logger.set_sink(None)

@@ -1,0 +1,15 @@
+"""Shared observability switch.
+
+A single module-level flag keeps the hot-path check for "is any
+instrumentation active?" to one attribute load.  The flag is flipped only
+through :func:`repro.obs.configure`; instrumented call sites must treat it
+as read-only.  Keeping it in a leaf module avoids import cycles: every
+other ``repro.obs`` module (and every instrumented subsystem) may import
+this one, and this one imports nothing from the package.
+"""
+
+from __future__ import annotations
+
+#: Master switch for metrics + span collection.  Structured logging has its
+#: own level threshold and is not gated by this flag.
+enabled: bool = False

@@ -1,0 +1,203 @@
+"""Exporters: render a registry/trace for humans or dump them to JSON.
+
+Two render targets:
+
+* aligned plain-text tables (``render_registry``, ``render_stage_shares``)
+  for the CLI's ``metrics`` subcommand;
+* JSON files (``write_metrics_json`` / ``read_metrics_json``) so a run's
+  metrics can be archived next to its figures and re-rendered later.
+
+``stage_timing_from_counters`` is the bridge to the paper's §VI.H
+accounting: the pipeline records *work* counters (frames featurized,
+predictions made, frames relayed) and the analytic
+:class:`~repro.metrics.timing.TimingModel` converts them into per-stage
+time shares — the same derivation as Figs. 9–10, now driven by live
+instrumentation instead of hand-threaded totals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .registry import MetricsRegistry, get_registry
+from .spans import Tracer, get_tracer
+
+__all__ = [
+    "STAGE_COUNTERS",
+    "render_table",
+    "render_registry",
+    "render_trace_totals",
+    "render_stage_shares",
+    "stage_timing_from_counters",
+    "write_metrics_json",
+    "read_metrics_json",
+]
+
+#: Counter names the pipeline increments for §VI.H stage accounting.
+STAGE_COUNTERS = {
+    "frames_covered": "stage.frames_covered",
+    "frames_featurized": "stage.frames_featurized",
+    "predictions": "stage.predictions",
+    "frames_relayed": "stage.frames_relayed",
+}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return str(value)
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None) -> str:
+    """Aligned text table over row dicts (standalone: ``repro.obs`` stays a
+    leaf package and must not import the harness's reporting module)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in cells
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+# ----------------------------------------------------------------------
+# Registry rendering
+# ----------------------------------------------------------------------
+def render_registry(
+    registry: Optional[MetricsRegistry] = None,
+    snapshot: Optional[Mapping] = None,
+) -> str:
+    """Human-readable dump of a registry (or a previously saved snapshot)."""
+    if snapshot is None:
+        snapshot = (registry or get_registry()).snapshot()
+    sections: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [{"counter": name, "value": value} for name, value in counters.items()]
+        sections.append("== counters ==\n" + render_table(rows))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [{"gauge": name, **stats} for name, stats in gauges.items()]
+        sections.append("== gauges ==\n" + render_table(rows))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = [{"histogram": name, **stats} for name, stats in histograms.items()]
+        sections.append("== histograms ==\n" + render_table(rows))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def render_trace_totals(tracer: Optional[Tracer] = None) -> str:
+    """Per-stage wall-clock totals of the recorded spans."""
+    tracer = tracer or get_tracer()
+    totals = tracer.stage_totals()
+    if not totals:
+        return "(no spans recorded)"
+    rows = [
+        {"span": name, "seconds": totals[name]}
+        for name in sorted(totals, key=totals.get, reverse=True)
+    ]
+    return render_table(rows)
+
+
+# ----------------------------------------------------------------------
+# §VI.H stage accounting
+# ----------------------------------------------------------------------
+def stage_timing_from_counters(
+    snapshot: Optional[Mapping] = None,
+    registry: Optional[MetricsRegistry] = None,
+    timing_model=None,
+):
+    """Derive a :class:`~repro.metrics.timing.PipelineTiming` from the
+    recorded ``stage.*`` work counters.
+
+    Returns ``None`` when no work has been recorded.
+    """
+    # Imported lazily: repro.metrics pulls in instrumented modules, and a
+    # top-level import here would cycle back into repro.obs.
+    from ..metrics.timing import TimingModel
+
+    if snapshot is None:
+        snapshot = (registry or get_registry()).snapshot()
+    counters = snapshot.get("counters", {})
+    values = {
+        key: int(counters.get(name, 0)) for key, name in STAGE_COUNTERS.items()
+    }
+    if not any(values.values()):
+        return None
+    timing_model = timing_model or TimingModel()
+    return timing_model.pipeline(
+        frames_covered=values["frames_covered"],
+        frames_featurized=values["frames_featurized"],
+        predictions_made=values["predictions"],
+        frames_relayed=values["frames_relayed"],
+    )
+
+
+def render_stage_shares(
+    snapshot: Optional[Mapping] = None,
+    registry: Optional[MetricsRegistry] = None,
+    timing_model=None,
+) -> str:
+    """Fig.-10-style per-stage time shares derived from the work counters."""
+    timing = stage_timing_from_counters(
+        snapshot=snapshot, registry=registry, timing_model=timing_model
+    )
+    if timing is None:
+        return "(no stage counters recorded)"
+    proportions = timing.breakdown.proportions()
+    rows = [
+        {
+            "stage": name,
+            "seconds": getattr(timing.breakdown, name),
+            "share": proportions[name],
+        }
+        for name in ("feature_extraction", "predictor", "cloud_inference")
+    ]
+    table = render_table(rows)
+    return f"{table}\npipeline FPS: {_fmt(timing.fps)}"
+
+
+# ----------------------------------------------------------------------
+# JSON persistence
+# ----------------------------------------------------------------------
+def write_metrics_json(path: str, registry: Optional[MetricsRegistry] = None) -> Dict:
+    """Save a registry snapshot as a JSON file; returns the snapshot."""
+    snapshot = (registry or get_registry()).snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return snapshot
+
+
+def read_metrics_json(path: str) -> Dict:
+    """Load a snapshot previously written by :func:`write_metrics_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{path!r} does not contain a metrics snapshot object")
+    return snapshot

@@ -1,0 +1,280 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+The registry is the numeric half of the observability substrate (spans are
+the temporal half).  Three metric kinds cover what the marshalling pipeline
+needs to account for itself the way the paper's §VI.H does:
+
+* :class:`Counter` — monotonically accumulating totals (frames relayed,
+  dollars charged, conformal widenings applied);
+* :class:`Gauge` — last-written values (current training loss, learning
+  rate);
+* :class:`Histogram` — streaming distributions with p50/p95/p99 estimates
+  via reservoir sampling (CI call latency, gradient norms).
+
+Everything is numpy-only and thread-safe: later PRs parallelise the
+harness, and a counter shared across worker threads must not lose
+increments.  Module-level helpers (:func:`inc`, :func:`set_gauge`,
+:func:`observe`) write to the process-wide default registry and no-op in
+well under a microsecond while instrumentation is disabled.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import _state
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+]
+
+
+class Counter:
+    """A monotonically increasing total (float increments allowed)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A last-value metric with min/max tracking."""
+
+    __slots__ = ("name", "_value", "_min", "_max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Optional[float] = None
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._value = value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def snapshot(self) -> Dict[str, float]:
+        if self._value is None:
+            return {"value": float("nan"), "min": float("nan"), "max": float("nan")}
+        return {"value": self._value, "min": self._min, "max": self._max}
+
+
+class Histogram:
+    """Streaming distribution summary via reservoir sampling (Algorithm R).
+
+    Keeps exact ``count``/``sum``/``min``/``max`` plus a bounded uniform
+    sample of the observations; percentiles are computed with
+    ``numpy.percentile`` over the reservoir.  While fewer than ``capacity``
+    values have been observed the reservoir holds *every* value and the
+    percentile estimates are exact.  The RNG is seeded from the metric name
+    so runs are reproducible.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "_reservoir",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+        "_lock",
+    )
+
+    def __init__(self, name: str, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._reservoir: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._reservoir) < self.capacity:
+                self._reservoir.append(value)
+            else:
+                j = self._rng.randrange(self._count)
+                if j < self.capacity:
+                    self._reservoir[j] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100])."""
+        with self._lock:
+            if not self._reservoir:
+                return float("nan")
+            return float(np.percentile(self._reservoir, q))
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            if not self._count:
+                keys = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+                return {k: (0 if k == "count" else float("nan")) for k in keys}
+            p50, p95, p99 = np.percentile(self._reservoir, [50, 95, 99])
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self._sum / self._count,
+            "min": self._min,
+            "max": self._max,
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of metrics with get-or-create accessors.
+
+    Accessors are idempotent — ``registry.counter("x")`` returns the same
+    object every call — and raise ``ValueError`` when a name is reused for
+    a different metric kind (silent kind changes hide bugs in exporters).
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, capacity: int = 2048) -> Histogram:
+        return self._get_or_create(name, Histogram, capacity=capacity)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Serializable view: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.snapshot()
+            elif isinstance(metric, Histogram):
+                out["histograms"][name] = metric.snapshot()
+        return out
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry all helpers write to."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests install a fresh one); returns the old."""
+    global _default_registry
+    old = _default_registry
+    _default_registry = registry
+    return old
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` in the default registry (no-op when disabled)."""
+    if not _state.enabled:
+        return
+    _default_registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` in the default registry (no-op when disabled)."""
+    if not _state.enabled:
+        return
+    _default_registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe ``value`` into histogram ``name`` (no-op when disabled)."""
+    if not _state.enabled:
+        return
+    _default_registry.histogram(name).observe(value)

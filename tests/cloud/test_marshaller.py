@@ -132,3 +132,81 @@ class TestMarshaller:
             marshaller.run(
                 data.test_stream, data.test_features, service, start_frame=0
             )
+
+
+class TestMarshallerObservability:
+    """The marshalling loop must keep books consistent with its report."""
+
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro import obs
+
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_counters_spans_and_ci_books_match_report(self, setup):
+        from repro import obs
+
+        spec, data, model, pipeline = setup
+        obs.configure(enabled=True)
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(model, data.event_types, pipeline)
+        report = marshaller.run(
+            data.test_stream, data.test_features, service, max_horizons=4
+        )
+        snap = obs.get_registry().snapshot()
+        counters = snap["counters"]
+        assert counters["marshal.horizons"] == report.horizons_evaluated
+        assert counters["marshal.frames_covered"] == report.frames_covered
+        assert counters["marshal.frames_relayed"] == report.frames_relayed
+        assert counters["marshal.cost"] == pytest.approx(report.total_cost)
+        assert counters["stage.frames_relayed"] == report.frames_relayed
+        assert counters["stage.predictions"] == report.horizons_evaluated
+        if service.ledger.requests:
+            assert counters["ci.requests"] == service.ledger.requests
+            assert counters["ci.frames"] == service.ledger.frames_processed
+            assert counters["ci.simulated_seconds"] == pytest.approx(
+                service.simulated_seconds
+            )
+            assert (
+                snap["histograms"]["ci.call_seconds"]["count"]
+                == service.ledger.requests
+            )
+        names = [r.name for r in obs.get_tracer().records]
+        assert names.count("marshal.run") == 1
+        assert names.count("marshal.horizon") == report.horizons_evaluated
+        horizon_spans = [
+            r for r in obs.get_tracer().records if r.name == "marshal.horizon"
+        ]
+        assert all(r.parent == "marshal.run" for r in horizon_spans)
+
+    def test_widening_counter_counts_conformal_regress_use(self, setup):
+        from repro import obs
+
+        spec, data, model, pipeline = setup
+        obs.configure(enabled=True)
+        classifier = ConformalClassifier(model).calibrate(data.calibration)
+        regressor = ConformalRegressor(model).calibrate(data.calibration)
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(
+            model, data.event_types, pipeline,
+            classifier=classifier, regressor=regressor,
+            confidence=0.99, alpha=0.99,
+        )
+        report = marshaller.run(data.test_stream, data.test_features, service)
+        counters = obs.get_registry().snapshot()["counters"]
+        if report.frames_relayed:
+            assert counters.get("marshal.widenings", 0) > 0
+
+    def test_disabled_run_records_nothing(self, setup):
+        from repro import obs
+
+        spec, data, model, pipeline = setup
+        service = CloudInferenceService(data.test_stream)
+        marshaller = StreamMarshaller(model, data.event_types, pipeline)
+        marshaller.run(
+            data.test_stream, data.test_features, service, max_horizons=2
+        )
+        assert obs.get_registry().names() == []
+        assert obs.get_tracer().records == []

@@ -1,0 +1,99 @@
+"""MarshallingReport aggregation and its shared serialization path."""
+
+import math
+
+import pytest
+
+from repro.cloud import MarshallingReport
+from repro.cloud.service import Detection
+
+
+def report_a():
+    return MarshallingReport(
+        horizons_evaluated=3,
+        frames_covered=600,
+        frames_relayed=120,
+        total_cost=0.12,
+        detections=[Detection("E1", 10, 30)],
+        true_event_frames=50,
+        detected_event_frames=40,
+    )
+
+
+def report_b():
+    return MarshallingReport(
+        horizons_evaluated=2,
+        frames_covered=400,
+        frames_relayed=380,
+        total_cost=0.38,
+        detections=[Detection("E1", 700, 720), Detection("E1", 800, 820)],
+        true_event_frames=30,
+        detected_event_frames=15,
+    )
+
+
+class TestMerge:
+    def test_merge_accumulates_counts_and_costs(self):
+        merged = report_a().merge(report_b())
+        assert merged.horizons_evaluated == 5
+        assert merged.frames_covered == 1000
+        assert merged.frames_relayed == 500
+        assert merged.total_cost == pytest.approx(0.5)
+        assert merged.true_event_frames == 80
+        assert merged.detected_event_frames == 55
+        assert len(merged.detections) == 3
+
+    def test_derived_ratios_reflect_the_union(self):
+        merged = report_a().merge(report_b())
+        assert merged.frame_recall == pytest.approx(55 / 80)
+        assert merged.relay_fraction == pytest.approx(500 / 1000)
+
+    def test_merge_returns_self_and_supports_chaining(self):
+        base = MarshallingReport()
+        out = base.merge(report_a(), report_b())
+        assert out is base
+        assert out.frames_covered == 1000
+
+    def test_merged_classmethod_leaves_inputs_untouched(self):
+        a, b = report_a(), report_b()
+        merged = MarshallingReport.merged([a, b])
+        assert merged.frames_covered == 1000
+        assert a.frames_covered == 600 and b.frames_covered == 400
+        assert len(a.detections) == 1  # not aliased into the merge
+
+    def test_merge_empty_is_identity(self):
+        merged = MarshallingReport.merged([])
+        assert merged.horizons_evaluated == 0
+        assert math.isnan(merged.frame_recall)
+
+
+class TestToDict:
+    def test_single_serialization_path(self):
+        d = report_a().to_dict()
+        assert d["frames_covered"] == 600
+        assert d["num_detections"] == 1
+        assert d["frame_recall"] == pytest.approx(40 / 50)
+        assert d["relay_fraction"] == pytest.approx(120 / 600)
+        assert "detections" not in d
+
+    def test_optional_detections_payload(self):
+        d = report_a().to_dict(include_detections=True)
+        assert d["detections"] == [{"event": "E1", "start": 10, "end": 30}]
+
+    def test_nan_ratios_on_empty_report(self):
+        d = MarshallingReport().to_dict()
+        assert math.isnan(d["frame_recall"])
+        assert math.isnan(d["relay_fraction"])
+
+    def test_round_trips_through_merge(self):
+        merged_dict = MarshallingReport.merged([report_a(), report_b()]).to_dict()
+        a, b = report_a().to_dict(), report_b().to_dict()
+        for key in (
+            "horizons_evaluated",
+            "frames_covered",
+            "frames_relayed",
+            "true_event_frames",
+            "detected_event_frames",
+            "num_detections",
+        ):
+            assert merged_dict[key] == a[key] + b[key]

@@ -1,8 +1,12 @@
 """Tests for the EventHit training loop, including learnability integration."""
 
+import io
+import json
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import EventHit, EventHitConfig, Trainer, threshold_predictions, train_eventhit
 from repro.data import build_experiment_data
 from repro.video import make_thumos
@@ -109,6 +113,64 @@ class TestTrainerMechanics:
             m1.state_dict()["head0.net.layer0.weight"],
             m2.state_dict()["head0.net.layer0.weight"],
         )
+
+
+class TestTrainingObservability:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_epoch_seconds_populated_without_instrumentation(self):
+        records = synthetic_records(b=32)
+        _, history = train_eventhit(records, config=small_config(epochs=4))
+        assert len(history.epoch_seconds) == history.epochs_run == 4
+        assert all(s >= 0 for s in history.epoch_seconds)
+        # The total keeps its original meaning: wall time of the whole fit,
+        # which contains every epoch interval.
+        assert history.seconds >= sum(history.epoch_seconds) - 1e-9
+        assert not obs.get_tracer().records  # disabled → nothing recorded
+
+    def test_epoch_seconds_tracks_early_stopping(self):
+        records = synthetic_records(b=48)
+        val = synthetic_records(b=24, seed=9)
+        config = small_config(epochs=200, learning_rate=1e-2)
+        _, history = train_eventhit(
+            records, config=config, validation=val, patience=3
+        )
+        assert history.stopped_early
+        assert len(history.epoch_seconds) == history.epochs_run
+
+    def test_spans_gauges_and_grad_norms_recorded_when_enabled(self):
+        obs.configure(enabled=True)
+        records = synthetic_records(b=32)
+        _, history = train_eventhit(records, config=small_config(epochs=3))
+        names = [r.name for r in obs.get_tracer().records]
+        assert names.count("train") == 1
+        assert names.count("train.epoch") == 3
+        epoch_records = [
+            r for r in obs.get_tracer().records if r.name == "train.epoch"
+        ]
+        assert all(r.parent == "train" for r in epoch_records)
+        np.testing.assert_allclose(
+            [r.seconds for r in epoch_records], history.epoch_seconds
+        )
+        snap = obs.get_registry().snapshot()
+        assert snap["gauges"]["train.loss"]["value"] == pytest.approx(
+            history.train_losses[-1]
+        )
+        assert snap["histograms"]["train.grad_norm"]["count"] > 0
+
+    def test_verbose_emits_structured_log_lines(self):
+        sink = io.StringIO()
+        obs.configure(log_level="error", log_sink=sink)  # verbose must force
+        records = synthetic_records(b=32)
+        train_eventhit(records, config=small_config(epochs=2), verbose=True)
+        lines = [json.loads(l) for l in sink.getvalue().strip().splitlines()]
+        epochs = [l for l in lines if l["event"] == "train.epoch"]
+        assert [l["epoch"] for l in epochs] == [1, 2]
+        assert all("train_loss" in l for l in epochs)
 
 
 class TestLearnability:

@@ -66,6 +66,32 @@ class TestRunExperiment:
         assert 0.0 <= summary.spl <= 1.0
 
 
+class TestEvaluateObservability:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro import obs
+
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_evaluate_emits_spans_and_stage_work(self, experiment):
+        from repro import obs
+
+        obs.configure(enabled=True)
+        summary = experiment.evaluate("EHO")
+        names = [r.name for r in obs.get_tracer().records]
+        assert names.count("marshal") == 1
+        assert names.count("ci") == 1
+        counters = obs.get_registry().snapshot()["counters"]
+        horizon = experiment.data.test.horizon
+        records = len(experiment.data.test)
+        assert counters["stage.frames_covered"] == records * horizon
+        assert counters["stage.frames_featurized"] == records * horizon
+        assert counters["stage.predictions"] == records
+        assert counters["stage.frames_relayed"] == summary.frames_relayed
+
+
 class TestSettings:
     def test_model_config_derivation(self):
         settings = ExperimentSettings(epochs=5, lstm_hidden=8)

@@ -1,0 +1,13 @@
+"""Shared observability test fixtures."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test starts and ends with pristine global observability state."""
+    obs.reset()
+    yield
+    obs.reset()

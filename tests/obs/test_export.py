@@ -1,0 +1,114 @@
+"""Exporters: text rendering, JSON persistence, stage-share derivation."""
+
+import pytest
+
+from repro import obs
+from repro.metrics.timing import TimingModel
+from repro.obs.export import (
+    STAGE_COUNTERS,
+    read_metrics_json,
+    render_registry,
+    render_stage_shares,
+    render_table,
+    render_trace_totals,
+    stage_timing_from_counters,
+    write_metrics_json,
+)
+
+
+def record_stage_work(frames_covered=24000, relayed=5400, predictions=120):
+    obs.configure(enabled=True)
+    obs.inc(STAGE_COUNTERS["frames_covered"], frames_covered)
+    obs.inc(STAGE_COUNTERS["frames_featurized"], frames_covered)
+    obs.inc(STAGE_COUNTERS["predictions"], predictions)
+    obs.inc(STAGE_COUNTERS["frames_relayed"], relayed)
+
+
+class TestRenderTable:
+    def test_aligned_columns_and_missing_cells(self):
+        text = render_table([{"a": 1, "b": 2.5}, {"a": 10}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len({len(line) for line in lines}) == 1  # aligned widths
+
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+
+class TestRenderRegistry:
+    def test_sections_appear_only_when_populated(self):
+        obs.configure(enabled=True)
+        obs.inc("frames", 7)
+        text = render_registry()
+        assert "== counters ==" in text and "frames" in text
+        assert "== gauges ==" not in text
+
+    def test_empty_registry(self):
+        assert render_registry() == "(no metrics recorded)"
+
+    def test_renders_saved_snapshot(self):
+        obs.configure(enabled=True)
+        obs.observe("lat", 0.5)
+        snapshot = obs.get_registry().snapshot()
+        obs.get_registry().reset()
+        assert "lat" in render_registry(snapshot=snapshot)
+
+
+class TestStageShares:
+    def test_matches_timing_model_directly(self):
+        record_stage_work()
+        timing = stage_timing_from_counters()
+        model = TimingModel()
+        expected = model.pipeline(
+            frames_covered=24000,
+            frames_featurized=24000,
+            predictions_made=120,
+            frames_relayed=5400,
+        )
+        assert timing.fps == pytest.approx(expected.fps)
+        assert timing.breakdown.proportions() == pytest.approx(
+            expected.breakdown.proportions()
+        )
+
+    def test_ci_dominates_when_relay_heavy(self):
+        record_stage_work()
+        shares = stage_timing_from_counters().breakdown.proportions()
+        assert shares["cloud_inference"] > 0.5
+
+    def test_no_work_recorded(self):
+        assert stage_timing_from_counters() is None
+        assert render_stage_shares() == "(no stage counters recorded)"
+
+    def test_render_includes_fps(self):
+        record_stage_work()
+        text = render_stage_shares()
+        assert "cloud_inference" in text and "pipeline FPS" in text
+
+
+class TestJsonRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.inc("c", 3)
+        obs.set_gauge("g", 1.5)
+        path = str(tmp_path / "metrics.json")
+        written = write_metrics_json(path)
+        loaded = read_metrics_json(path)
+        assert loaded == written
+        assert loaded["counters"]["c"] == 3.0
+
+    def test_read_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            read_metrics_json(str(path))
+
+
+class TestTraceTotals:
+    def test_render(self):
+        obs.configure(enabled=True)
+        with obs.span("stage-a"):
+            pass
+        assert "stage-a" in render_trace_totals()
+
+    def test_empty(self):
+        assert render_trace_totals() == "(no spans recorded)"

@@ -1,0 +1,59 @@
+"""Property test: histogram percentiles track numpy.percentile.
+
+Below capacity the reservoir holds every observation, so the estimate must
+match ``numpy.percentile`` exactly; above capacity the uniform reservoir
+must stay within a loose tolerance of the true quantile on well-behaved
+workloads.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import Histogram
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    values=st.lists(finite_floats, min_size=1, max_size=400),
+    q=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_percentiles_exact_below_capacity(values, q):
+    hist = Histogram("p", capacity=1024)
+    for v in values:
+        hist.observe(v)
+    expected = float(np.percentile(values, q))
+    assert hist.percentile(q) == np.float64(expected)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_percentiles_within_tolerance_above_capacity(seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(loc=10.0, scale=2.0, size=5000)
+    hist = Histogram("p", capacity=1024)
+    for v in values:
+        hist.observe(v)
+    spread = float(values.max() - values.min())
+    for q in (50, 95, 99):
+        err = abs(hist.percentile(q) - float(np.percentile(values, q)))
+        # A 1024-sample uniform reservoir of 5000 draws estimates these
+        # quantiles to a few percent of the data range.
+        assert err <= 0.1 * spread
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_moments_are_exact_at_any_size(values):
+    hist = Histogram("m", capacity=16)  # far below len(values) sometimes
+    for v in values:
+        hist.observe(v)
+    assert hist.count == len(values)
+    assert np.isclose(hist.sum, float(np.sum(values)), rtol=1e-9, atol=1e-6)
+    snap = hist.snapshot()
+    assert snap["min"] == float(np.min(values))
+    assert snap["max"] == float(np.max(values))

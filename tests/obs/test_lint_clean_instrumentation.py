@@ -1,0 +1,115 @@
+"""Lint: library code must use the structured logger and span API.
+
+Forbids, across ``src/repro/``:
+
+* bare ``print(`` calls — diagnostic output belongs in ``repro.obs``'s
+  JSON-lines logger.  The CLI's table writers are exempt: a ``print``
+  that routes through the ``out=`` stream (i.e. passes a ``file=``
+  argument) is the CLI's job, not logging.
+* ``time.time(`` — wall-clock arithmetic belongs in the span API
+  (``time.time_ns``/``perf_counter`` inside ``repro.obs`` implement it).
+
+Tokenized scanning, so strings and comments (docstring examples, prose)
+never trip it, and a ``file=`` argument is honored wherever the call
+breaks across lines.
+"""
+
+import tokenize
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def _code_tokens(path):
+    with open(path, "rb") as handle:
+        return [
+            tok
+            for tok in tokenize.tokenize(handle.readline)
+            if tok.type in (tokenize.NAME, tokenize.OP)
+        ]
+
+
+def _call_passes_file_kwarg(tokens, open_paren_index):
+    """True if the call starting at ``tokens[open_paren_index]`` ('(')
+    passes a top-level ``file=`` keyword argument."""
+    depth = 0
+    for i in range(open_paren_index, len(tokens)):
+        tok = tokens[i]
+        if tok.string in "([{":
+            depth += 1
+        elif tok.string in ")]}":
+            depth -= 1
+            if depth == 0:
+                return False
+        elif (
+            depth == 1
+            and tok.type == tokenize.NAME
+            and tok.string == "file"
+            and i + 1 < len(tokens)
+            and tokens[i + 1].string == "="
+        ):
+            return True
+    return False
+
+
+def scan_file(path, root=None):
+    """All print/time.time violations in one python file."""
+    root = root or SRC_ROOT.parent
+    tokens = _code_tokens(path)
+    rel = path.relative_to(root) if path.is_relative_to(root) else path
+    found = []
+    for i, tok in enumerate(tokens):
+        if tok.type != tokenize.NAME:
+            continue
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        prev = tokens[i - 1] if i > 0 else None
+        if nxt is None or nxt.string != "(":
+            continue
+        # bare print(...) — attribute access (x.print) is not "bare".
+        if tok.string == "print" and (prev is None or prev.string != "."):
+            if not _call_passes_file_kwarg(tokens, i + 1):
+                found.append(
+                    f"{rel}:{tok.start[0]}: bare print( — use repro.obs "
+                    "logging or route through the CLI's out= stream"
+                )
+        # time.time(...) — but not time.time_ns / perf_counter.
+        if (
+            tok.string == "time"
+            and prev is not None
+            and prev.string == "."
+            and i >= 2
+            and tokens[i - 2].string == "time"
+        ):
+            found.append(
+                f"{rel}:{tok.start[0]}: time.time( — use repro.obs.span "
+                "or time.perf_counter"
+            )
+    return found
+
+
+def test_src_has_no_bare_print_or_time_time():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        violations.extend(scan_file(path))
+    assert not violations, "\n".join(violations)
+
+
+def test_lint_catches_planted_violations(tmp_path):
+    """The scanner itself must flag what it claims to flag."""
+    planted = tmp_path / "bad.py"
+    planted.write_text(
+        '"""print( and time.time( in a docstring are fine."""\n'
+        "import time\n"
+        "print('hello')\n"
+        "t = time.time()\n"
+        "print('routed',\n"
+        "      file=None)\n"
+        "elapsed = time.time_ns()\n"
+        "obj.print('method, not bare')\n"
+    )
+    hits = scan_file(planted, root=tmp_path)
+    assert len(hits) == 2
+    assert "bad.py:3" in hits[0] and "print" in hits[0]
+    assert "bad.py:4" in hits[1] and "time.time" in hits[1]

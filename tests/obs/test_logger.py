@@ -1,0 +1,73 @@
+"""Structured logger levels, sinks, and JSON-lines format."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.logger import StructuredLogger
+
+
+def logged(sink):
+    return [json.loads(line) for line in sink.getvalue().strip().splitlines()
+            if line]
+
+
+class TestStructuredLogger:
+    def test_threshold_filters_lower_levels(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(level="warning", sink=sink)
+        logger.debug("d")
+        logger.info("i")
+        logger.warning("w")
+        logger.error("e")
+        events = [r["event"] for r in logged(sink)]
+        assert events == ["w", "e"]
+
+    def test_records_are_json_with_ts_level_event(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(level="debug", sink=sink)
+        logger.info("train.epoch", epoch=3, loss=0.25)
+        (record,) = logged(sink)
+        assert record["event"] == "train.epoch"
+        assert record["level"] == "info"
+        assert record["epoch"] == 3 and record["loss"] == 0.25
+        assert record["ts"] > 0
+
+    def test_force_bypasses_threshold(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(level="error", sink=sink)
+        logger.log("info", "verbose", _force=True)
+        assert [r["event"] for r in logged(sink)] == ["verbose"]
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            StructuredLogger(level="loud")
+
+    def test_non_serializable_fields_fall_back_to_str(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(level="debug", sink=sink)
+        logger.info("x", obj=object())
+        (record,) = logged(sink)
+        assert "object" in record["obj"]
+
+
+class TestGlobalConfigure:
+    def test_configure_level_and_sink(self):
+        sink = io.StringIO()
+        obs.configure(log_level="info", log_sink=sink)
+        obs.log_info("hello", a=1)
+        obs.log_debug("ignored")
+        events = [r["event"] for r in logged(sink)]
+        assert events == ["hello"]
+
+    def test_default_threshold_is_warning(self):
+        assert obs.get_logger().threshold == obs.LEVELS["warning"]
+
+    def test_log_event_levels(self):
+        sink = io.StringIO()
+        obs.configure(log_level="debug", log_sink=sink)
+        obs.log_event("error", "boom", code=2)
+        (record,) = logged(sink)
+        assert record["level"] == "error" and record["code"] == 2

@@ -1,0 +1,138 @@
+"""Counter/gauge/histogram semantics and registry behavior."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_thread_safe_increments(self):
+        c = Counter("x")
+
+        def worker():
+            for _ in range(5000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8 * 5000
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        g = Gauge("loss")
+        assert g.value is None
+        for v in (3.0, 1.0, 2.0):
+            g.set(v)
+        snap = g.snapshot()
+        assert snap == {"value": 2.0, "min": 1.0, "max": 3.0}
+
+    def test_empty_snapshot_is_nan(self):
+        snap = Gauge("x").snapshot()
+        assert all(v != v for v in snap.values())
+
+
+class TestHistogram:
+    def test_exact_stats_below_capacity(self):
+        h = Histogram("lat", capacity=100)
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for v in values:
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(15.0)
+        assert h.mean == pytest.approx(3.0)
+        assert h.percentile(50) == pytest.approx(np.percentile(values, 50))
+        snap = h.snapshot()
+        assert snap["min"] == 1.0 and snap["max"] == 5.0
+        assert snap["p50"] == pytest.approx(3.0)
+
+    def test_reservoir_stays_bounded(self):
+        h = Histogram("lat", capacity=32)
+        for i in range(1000):
+            h.observe(float(i))
+        assert h.count == 1000
+        assert len(h._reservoir) == 32
+        assert h.snapshot()["max"] == 999.0  # min/max are exact regardless
+
+    def test_empty_percentile_is_nan(self):
+        assert Histogram("x").percentile(50) != Histogram("x").percentile(50)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram("x", capacity=0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="Counter"):
+            reg.gauge("a")
+
+    def test_snapshot_partitions_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"]["g"]["value"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_record_nothing(self):
+        obs.inc("c", 5)
+        obs.set_gauge("g", 1.0)
+        obs.observe("h", 1.0)
+        assert obs.get_registry().names() == []
+
+    def test_enabled_helpers_record(self):
+        obs.configure(enabled=True)
+        obs.inc("c", 5)
+        obs.set_gauge("g", 1.0)
+        obs.observe("h", 2.0)
+        snap = obs.get_registry().snapshot()
+        assert snap["counters"]["c"] == 5.0
+        assert snap["gauges"]["g"]["value"] == 1.0
+        assert snap["histograms"]["h"]["sum"] == 2.0
+
+    def test_set_registry_swaps_default(self):
+        obs.configure(enabled=True)
+        fresh = MetricsRegistry()
+        old = obs.set_registry(fresh)
+        try:
+            obs.inc("c")
+            assert fresh.counter("c").value == 1
+            assert old.get("c") is None
+        finally:
+            obs.set_registry(old)

@@ -1,0 +1,136 @@
+"""Span nesting, exception safety, threading, and tracer streaming."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import Tracer
+
+
+def names(records):
+    return [r.name for r in records]
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_parent_and_depth(self):
+        obs.configure(enabled=True)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        records = obs.get_tracer().records
+        assert names(records) == ["inner", "outer"]  # completion order
+        inner, outer = records
+        assert inner.parent == "outer" and inner.depth == 1
+        assert outer.parent is None and outer.depth == 0
+
+    def test_attrs_and_duration(self):
+        obs.configure(enabled=True)
+        with obs.span("stage", task="TA10", n=3) as sp:
+            pass
+        assert sp.seconds >= 0
+        record = obs.get_tracer().records[0]
+        assert record.attrs == {"task": "TA10", "n": 3}
+        assert record.seconds == sp.seconds
+
+    def test_sequential_spans_are_siblings(self):
+        obs.configure(enabled=True)
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        assert all(r.depth == 0 and r.parent is None
+                   for r in obs.get_tracer().records)
+
+
+class TestExceptionSafety:
+    def test_exception_pops_stack_and_marks_error(self):
+        obs.configure(enabled=True)
+        with pytest.raises(KeyError):
+            with obs.span("outer"):
+                with obs.span("boom"):
+                    raise KeyError("nope")
+        records = {r.name: r for r in obs.get_tracer().records}
+        assert records["boom"].status == "error"
+        assert "nope" in records["boom"].error
+        assert records["outer"].status == "error"
+        # Stack unwound: a fresh span is a root again.
+        with obs.span("after"):
+            pass
+        after = [r for r in obs.get_tracer().records if r.name == "after"][0]
+        assert after.depth == 0 and after.parent is None
+
+
+class TestThreading:
+    def test_per_thread_stacks_do_not_interleave(self):
+        obs.configure(enabled=True)
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            with obs.span(f"root-{tag}"):
+                barrier.wait()
+                with obs.span(f"child-{tag}"):
+                    barrier.wait()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = {r.name: r for r in obs.get_tracer().records}
+        assert records["child-0"].parent == "root-0"
+        assert records["child-1"].parent == "root-1"
+        assert records["root-0"].depth == records["root-1"].depth == 0
+
+
+class TestDisabled:
+    def test_disabled_span_times_but_records_nothing(self):
+        with obs.span("off") as sp:
+            pass
+        assert sp.seconds >= 0
+        assert obs.get_tracer().records == []
+
+
+class TestTracer:
+    def test_streams_valid_jsonl_to_sink(self):
+        sink = io.StringIO()
+        obs.configure(enabled=True, trace_sink=sink)
+        with obs.span("a", k=1):
+            with obs.span("b"):
+                pass
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {"a", "b"}
+        assert all({"seconds", "depth", "thread", "status"} <= set(p)
+                   for p in parsed)
+
+    def test_stage_totals_aggregate_by_name(self):
+        obs.configure(enabled=True)
+        for _ in range(3):
+            with obs.span("epoch"):
+                pass
+        totals = obs.get_tracer().stage_totals()
+        assert set(totals) == {"epoch"}
+        assert totals["epoch"] >= 0
+
+    def test_max_records_drops_beyond_cap(self):
+        tracer = Tracer(max_records=2)
+        obs.configure(enabled=True)
+        for record_source in range(3):
+            with obs.span("x"):
+                pass
+        # The global tracer accepted all three; the capped one drops.
+        for record in obs.get_tracer().records:
+            tracer.add(record)
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 1
+
+    def test_to_jsonl_round_trips(self):
+        obs.configure(enabled=True)
+        with obs.span("x"):
+            pass
+        text = obs.get_tracer().to_jsonl()
+        assert json.loads(text.strip())["name"] == "x"

@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -99,3 +101,81 @@ class TestCommands:
         )
         assert code == 0
         assert "achieved_REC" in text
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_trace_out_streams_full_pipeline_spans(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, _ = run_cli(
+            ["evaluate", "--task", "TA10", "--algorithm", "EHCR",
+             "--trace-out", str(trace)] + FAST
+        )
+        assert code == 0
+        lines = trace.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        names = {r["name"] for r in records}
+        # One run must cover the whole pipeline: training, both conformal
+        # calibrations, marshalling (prediction) and cloud inference.
+        assert {"train", "train.epoch", "calibrate.classify",
+                "calibrate.regress", "marshal", "ci"} <= names
+        for record in records:
+            assert record["seconds"] >= 0
+            assert record["status"] == "ok"
+
+    def test_metrics_renders_registry_and_stage_shares(self):
+        code, text = run_cli(
+            ["metrics", "--task", "TA10", "--algorithm", "EHCR"] + FAST
+        )
+        assert code == 0
+        assert "== counters ==" in text
+        assert "stage time shares" in text
+        # §VI.H: cloud inference dominates wall-clock on TA10.
+        share_lines = [
+            line for line in text.splitlines()
+            if line.strip().startswith("cloud_inference")
+        ]
+        assert share_lines, text
+        assert float(share_lines[0].split()[-1]) > 0.5
+
+    def test_metrics_json_roundtrip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, text = run_cli(
+            ["metrics", "--task", "TA10", "--json-out", str(path)] + FAST
+        )
+        assert code == 0
+        code2, text2 = run_cli(["metrics", "--from", str(path)])
+        assert code2 == 0
+        # Re-rendering the saved snapshot reproduces the registry sections.
+        for line in text.splitlines():
+            if line.strip().startswith("stage."):
+                assert line in text2
+
+    def test_error_exits_1_with_structured_log(self, capsys):
+        code, _ = run_cli(["evaluate", "--task", "NOPE"] + FAST)
+        assert code == 1
+        err_lines = [
+            json.loads(line)
+            for line in capsys.readouterr().err.strip().splitlines()
+            if line.startswith("{")
+        ]
+        events = [l for l in err_lines if l["event"] == "cli.error"]
+        assert events and events[0]["error_type"] == "ValueError"
+
+    def test_log_level_flag_enables_info_events(self, capsys):
+        code, _ = run_cli(
+            ["evaluate", "--task", "TA10", "--log-level", "info"] + FAST
+        )
+        assert code == 0
+        err_lines = [
+            json.loads(line)
+            for line in capsys.readouterr().err.strip().splitlines()
+            if line.startswith("{")
+        ]
+        events = {l["event"] for l in err_lines}
+        assert "experiment.evaluate" in events
