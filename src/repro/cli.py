@@ -14,6 +14,8 @@ reachable from the shell::
     python -m repro.cli evaluate --task TA10 --algorithm EHCR \
         --confidence 0.95 --alpha 0.9
     python -m repro.cli metrics --task TA10 --algorithm EHCR
+    python -m repro.cli chaos --task TA10 --fault-rates 0,0.1,0.3 \
+        --max-attempts 1,4 --failure-policy defer
 
 All experiment-backed commands accept ``--scale/--epochs/--records/--seed``
 to size the synthetic workload, plus the observability flags
@@ -30,8 +32,10 @@ import sys
 from typing import List, Optional, Sequence
 
 from . import obs
+from .cloud import BreakerConfig, FaultPlan, RetryPolicy
 from .harness import (
     ExperimentSettings,
+    chaos_experiment,
     fig10_stage_breakdown,
     fig4_rec_spl,
     fig5_cclassify,
@@ -148,6 +152,49 @@ def build_parser() -> argparse.ArgumentParser:
                 help="render a previously saved --json-out snapshot "
                 "instead of running an evaluation",
             )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: recall/cost/retry overhead of the "
+        "marshalling deployment under an unreliable CI",
+    )
+    _add_experiment_args(chaos, "TA10")
+    chaos.add_argument(
+        "--fault-rates",
+        default="0,0.05,0.1,0.2,0.4",
+        help="comma-separated raising-fault rates to sweep",
+    )
+    chaos.add_argument(
+        "--max-attempts",
+        default="1,3,6",
+        help="comma-separated retry attempt caps (one policy per value)",
+    )
+    chaos.add_argument(
+        "--failure-policy",
+        default="defer",
+        choices=["raise", "skip", "defer"],
+        help="what the marshaller does when retries are exhausted",
+    )
+    chaos.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="load the base FaultPlan from FILE (JSON); its raising-fault "
+        "rates are rescaled to each swept rate",
+    )
+    chaos.add_argument(
+        "--fault-plan-out",
+        default=None,
+        metavar="FILE",
+        help="write the resolved base FaultPlan to FILE (JSON) for reuse "
+        "via --fault-plan",
+    )
+    chaos.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures before the circuit opens")
+    chaos.add_argument("--breaker-recovery", type=float, default=30.0,
+                       help="simulated seconds the circuit stays open")
+    chaos.add_argument("--max-horizons", type=int, default=None,
+                       help="cap the marshalled horizons per cell")
     return parser
 
 
@@ -216,6 +263,43 @@ def _run_metrics(args: argparse.Namespace, out) -> None:
         print(obs.render_trace_totals(), file=out)
 
 
+def _parse_float_list(text: str) -> List[float]:
+    return [float(item) for item in text.split(",") if item.strip()]
+
+
+def _run_chaos(args: argparse.Namespace, out) -> None:
+    """Fault-rate × retry-policy sweep over one task's deployment."""
+    if args.fault_plan is not None:
+        with open(args.fault_plan, "r", encoding="utf-8") as handle:
+            base_plan = FaultPlan.from_json(handle.read())
+    else:
+        base_plan = FaultPlan(seed=args.seed)
+    if args.fault_plan_out is not None:
+        with open(args.fault_plan_out, "w", encoding="utf-8") as handle:
+            handle.write(base_plan.to_json() + "\n")
+    rates = _parse_float_list(args.fault_rates)
+    policies = [
+        RetryPolicy(max_attempts=int(value), seed=args.seed)
+        for value in _parse_float_list(args.max_attempts)
+    ]
+    breaker = BreakerConfig(
+        failure_threshold=args.breaker_threshold,
+        recovery_seconds=args.breaker_recovery,
+    )
+    rows = chaos_experiment(
+        args.task,
+        fault_rates=rates,
+        policies=policies,
+        settings=_settings(args),
+        base_plan=base_plan,
+        breaker=breaker,
+        failure_policy=args.failure_policy,
+        seed=args.seed,
+        max_horizons=args.max_horizons,
+    )
+    print(format_table(rows), file=out)
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -245,6 +329,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             _run_evaluate(args, out)
         elif args.command == "metrics":
             _run_metrics(args, out)
+        elif args.command == "chaos":
+            _run_chaos(args, out)
         else:  # pragma: no cover - argparse enforces choices
             raise SystemExit(f"unknown command {args.command!r}")
     except Exception as exc:

@@ -1,9 +1,28 @@
 """Simulated cloud inference infrastructure (the CI of Fig. 1): pricing,
-the pay-per-frame detection service, and the runtime marshalling loop."""
+the pay-per-frame detection service, deterministic fault injection, the
+resilient retry/breaker client, and the runtime marshalling loop."""
 
 from .pricing import REKOGNITION, FlatPricing, PricingModel, TieredPricing
-from .service import CloudInferenceService, Detection, UsageLedger
-from .marshaller import MarshallingReport, StreamMarshaller
+from .service import CloudInferenceService, Detection, UsageLedger, merge_segments
+from .faults import (
+    CIBreakerOpen,
+    CIError,
+    CIOutage,
+    CIThrottled,
+    CITimeout,
+    CITransientError,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
+from .resilient import (
+    BreakerConfig,
+    CircuitBreaker,
+    ResilienceStats,
+    ResilientCIClient,
+    RetryPolicy,
+)
+from .marshaller import FAILURE_POLICIES, MarshallingReport, StreamMarshaller
 
 __all__ = [
     "PricingModel",
@@ -13,6 +32,22 @@ __all__ = [
     "CloudInferenceService",
     "Detection",
     "UsageLedger",
+    "merge_segments",
+    "CIError",
+    "CITimeout",
+    "CIThrottled",
+    "CITransientError",
+    "CIOutage",
+    "CIBreakerOpen",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "RetryPolicy",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "ResilientCIClient",
+    "FAILURE_POLICIES",
     "MarshallingReport",
     "StreamMarshaller",
 ]

@@ -1,0 +1,395 @@
+"""Deterministic fault injection for the cloud inference path.
+
+The paper's deployment story (Fig. 1, §VI.A) relays frame ranges to a
+remote pay-per-frame CI service; a real deployment therefore lives with
+timeouts, throttling, transient errors, hard outages, latency spikes, and
+partial responses.  This module makes those failures *reproducible*: a
+:class:`FaultInjector` wraps any ``CloudInferenceService``-shaped object
+and, from a seeded RNG plus a declarative :class:`FaultPlan`, injects typed
+:class:`CIError` failures on ``detect()`` with exact bookkeeping of whether
+each failed call was billed (real pay-per-frame APIs bill timeouts; the
+``bill_on_timeout`` knob models both contracts).
+
+Everything is deterministic: one RNG draw per non-outage call, in call
+order, so the same seed + plan + call sequence reproduces the same faults.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import inc, log_debug
+from ..video.events import EventType
+from ..video.stream import StreamSegment
+
+__all__ = [
+    "CIError",
+    "CITimeout",
+    "CIThrottled",
+    "CITransientError",
+    "CIOutage",
+    "CIBreakerOpen",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+]
+
+
+# ----------------------------------------------------------------------
+# Fault taxonomy
+# ----------------------------------------------------------------------
+class CIError(RuntimeError):
+    """Base class of every cloud-inference failure.
+
+    ``billed`` records whether the failed call was charged to the ledger —
+    the distinction a cost-aware retry policy must reason about.
+    """
+
+    def __init__(self, message: str, billed: bool = False):
+        super().__init__(message)
+        self.billed = billed
+
+
+class CITimeout(CIError):
+    """The CI did not answer within its deadline.
+
+    Depending on the provider contract the frames may still be billed
+    (``FaultPlan.bill_on_timeout``).
+    """
+
+
+class CIThrottled(CIError):
+    """Rate-limited before processing; carries the provider's retry hint."""
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message, billed=False)
+        self.retry_after = retry_after
+
+
+class CITransientError(CIError):
+    """A retryable 5xx-style failure; the request never processed."""
+
+
+class CIOutage(CIError):
+    """Hard downtime: the service is unreachable for a window of calls."""
+
+    def __init__(self, message: str, window: Tuple[int, int]):
+        super().__init__(message, billed=False)
+        self.window = window
+
+
+class CIBreakerOpen(CIError):
+    """A resilient client refused the call because its circuit is open."""
+
+
+#: Fault kinds in the order the injector's single RNG draw resolves them.
+_FAULT_KINDS = ("timeout", "throttle", "transient", "partial", "latency_spike")
+
+
+# ----------------------------------------------------------------------
+# Declarative plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults one injector produces.
+
+    Rates are per-call probabilities resolved from a single uniform draw,
+    so ``timeout_rate + throttle_rate + transient_rate + partial_rate +
+    latency_spike_rate`` must not exceed 1.  ``outages`` are half-open
+    ``[start, end)`` windows over the call index — hard downtime that
+    fails deterministically without consuming an RNG draw.
+    """
+
+    timeout_rate: float = 0.0
+    throttle_rate: float = 0.0
+    transient_rate: float = 0.0
+    partial_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_seconds: float = 5.0
+    retry_after_seconds: float = 1.0
+    partial_fraction: float = 0.5
+    outages: Tuple[Tuple[int, int], ...] = ()
+    bill_on_timeout: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in _FAULT_KINDS:
+            rate = getattr(self, f"{kind}_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+        if self.total_rate > 1.0 + 1e-12:
+            raise ValueError("fault rates must sum to at most 1")
+        if not 0.0 < self.partial_fraction <= 1.0:
+            raise ValueError("partial_fraction must be in (0, 1]")
+        if self.latency_spike_seconds < 0:
+            raise ValueError("latency_spike_seconds must be non-negative")
+        if self.retry_after_seconds < 0:
+            raise ValueError("retry_after_seconds must be non-negative")
+        normalized = []
+        for window in self.outages:
+            start, end = int(window[0]), int(window[1])
+            if start < 0 or end <= start:
+                raise ValueError(f"invalid outage window [{start}, {end})")
+            normalized.append((start, end))
+        object.__setattr__(self, "outages", tuple(normalized))
+
+    # ------------------------------------------------------------------
+    @property
+    def failure_rate(self) -> float:
+        """Probability a call *raises* (timeouts + throttles + transients)."""
+        return self.timeout_rate + self.throttle_rate + self.transient_rate
+
+    @property
+    def total_rate(self) -> float:
+        """Probability a call is faulted in any way (including non-raising)."""
+        return self.failure_rate + self.partial_rate + self.latency_spike_rate
+
+    @classmethod
+    def uniform(cls, failure_rate: float, seed: int = 0, **overrides) -> "FaultPlan":
+        """A plan spreading ``failure_rate`` evenly over the raising faults."""
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        share = failure_rate / 3.0
+        return cls(
+            timeout_rate=share,
+            throttle_rate=share,
+            transient_rate=share,
+            seed=seed,
+            **overrides,
+        )
+
+    def with_failure_rate(self, failure_rate: float) -> "FaultPlan":
+        """This plan rescaled so its raising faults sum to ``failure_rate``."""
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        current = self.failure_rate
+        if current <= 0.0:
+            share = failure_rate / 3.0
+            return replace(
+                self,
+                timeout_rate=share,
+                throttle_rate=share,
+                transient_rate=share,
+            )
+        scale = failure_rate / current
+        return replace(
+            self,
+            timeout_rate=self.timeout_rate * scale,
+            throttle_rate=self.throttle_rate * scale,
+            transient_rate=self.transient_rate * scale,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["outages"] = [list(window) for window in self.outages]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "outages" in kwargs:
+            kwargs["outages"] = tuple(
+                tuple(window) for window in kwargs["outages"]
+            )
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class FaultStats:
+    """Exact books of what one injector did."""
+
+    calls: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
+    outage_rejections: int = 0
+    billed_failures: int = 0
+    unbilled_failures: int = 0
+    frames_billed_on_failure: int = 0
+    partial_responses: int = 0
+    detections_truncated: int = 0
+    latency_spikes: int = 0
+    spike_seconds: float = 0.0
+
+    def record_fault(self, kind: str) -> None:
+        self.faults[kind] = self.faults.get(kind, 0) + 1
+
+    @property
+    def failures(self) -> int:
+        """Calls that raised (outages included)."""
+        return self.billed_failures + self.unbilled_failures
+
+    def as_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["failures"] = self.failures
+        return out
+
+
+# ----------------------------------------------------------------------
+# The injector
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Wrap a ``CloudInferenceService``-shaped object with seeded faults.
+
+    The wrapper mirrors the service interface (``detect`` / ``detect_many``
+    / ``reset`` plus the ``stream`` / ``pricing`` / ``ledger`` /
+    ``simulated_seconds`` attributes), so marshalling code cannot tell the
+    difference — until a fault fires.
+    """
+
+    def __init__(self, service, plan: FaultPlan):
+        self.service = service
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(plan.seed)
+        self._call_index = 0
+        self._spike_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Service-shaped delegation
+    # ------------------------------------------------------------------
+    @property
+    def stream(self):
+        return self.service.stream
+
+    @property
+    def pricing(self):
+        return self.service.pricing
+
+    @property
+    def ledger(self):
+        return self.service.ledger
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Inner processing time plus injected latency spikes."""
+        return self.service.simulated_seconds + self._spike_seconds
+
+    def reset(self) -> None:
+        """Reset the inner service *and* replay the fault sequence."""
+        self.service.reset()
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._call_index = 0
+        self._spike_seconds = 0.0
+
+    def detect_many(
+        self, segments: Sequence[StreamSegment], event_type: EventType
+    ) -> List:
+        out: List = []
+        for segment in segments:
+            out.extend(self.detect(segment, event_type))
+        return out
+
+    # ------------------------------------------------------------------
+    def _raise(self, kind: str, exc: CIError) -> None:
+        self.stats.record_fault(kind)
+        if exc.billed:
+            self.stats.billed_failures += 1
+        else:
+            self.stats.unbilled_failures += 1
+        inc("ci.faults.injected")
+        inc(f"ci.faults.{kind}")
+        log_debug("ci.fault", kind=kind, billed=exc.billed, call=self._call_index)
+        raise exc
+
+    def detect(self, segment: StreamSegment, event_type: EventType) -> List:
+        """Inner ``detect`` with at most one injected fault per call."""
+        index = self._call_index
+        self._call_index += 1
+        self.stats.calls += 1
+
+        for window in self.plan.outages:
+            if window[0] <= index < window[1]:
+                self.stats.outage_rejections += 1
+                self._raise(
+                    "outage",
+                    CIOutage(
+                        f"CI outage window [{window[0]}, {window[1]}) "
+                        f"(call {index})",
+                        window=window,
+                    ),
+                )
+
+        draw = float(self._rng.random())
+        threshold = 0.0
+        kind: Optional[str] = None
+        for candidate in _FAULT_KINDS:
+            threshold += getattr(self.plan, f"{candidate}_rate")
+            if draw < threshold:
+                kind = candidate
+                break
+
+        if kind == "timeout":
+            billed = self.plan.bill_on_timeout
+            if billed:
+                # The provider processed (and billed) the frames; the
+                # response just never arrived.
+                self.service.detect(segment, event_type)
+                self.stats.frames_billed_on_failure += segment.num_frames
+            self._raise(
+                "timeout", CITimeout(f"CI timeout on call {index}", billed=billed)
+            )
+        if kind == "throttle":
+            self._raise(
+                "throttle",
+                CIThrottled(
+                    f"CI throttled on call {index}",
+                    retry_after=self.plan.retry_after_seconds,
+                ),
+            )
+        if kind == "transient":
+            self._raise(
+                "transient", CITransientError(f"CI transient error on call {index}")
+            )
+
+        detections = self.service.detect(segment, event_type)
+        if kind == "partial":
+            # Full segment billed, results truncated to a prefix of it.
+            keep = max(
+                1, int(math.ceil(self.plan.partial_fraction * segment.num_frames))
+            )
+            prefix_end = segment.start + keep - 1
+            truncated = []
+            for det in detections:
+                if det.start > prefix_end:
+                    continue
+                if det.end > prefix_end:
+                    det = replace(det, end=prefix_end)
+                truncated.append(det)
+            self.stats.partial_responses += 1
+            self.stats.detections_truncated += len(detections) - len(truncated)
+            self.stats.record_fault("partial")
+            inc("ci.faults.injected")
+            inc("ci.faults.partial")
+            log_debug(
+                "ci.fault", kind="partial", call=index, prefix_end=prefix_end
+            )
+            return truncated
+        if kind == "latency_spike":
+            self.stats.latency_spikes += 1
+            self.stats.spike_seconds += self.plan.latency_spike_seconds
+            self._spike_seconds += self.plan.latency_spike_seconds
+            self.stats.record_fault("latency_spike")
+            inc("ci.faults.injected")
+            inc("ci.faults.latency_spike")
+            inc("ci.faults.spike_seconds", self.plan.latency_spike_seconds)
+        return detections

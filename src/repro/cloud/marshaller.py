@@ -22,12 +22,41 @@ from ..core.inference import extract_interval_segments, extract_intervals
 from ..core.model import EventHit
 from ..features.extractors import FeatureMatrix
 from ..features.pipeline import CovariatePipeline
-from ..obs import inc, span
+from ..obs import inc, log_info, span
 from ..video.events import EventType
-from ..video.stream import VideoStream
+from ..video.stream import StreamSegment, VideoStream
+from .faults import CIError
 from .service import CloudInferenceService, Detection
 
-__all__ = ["MarshallingReport", "StreamMarshaller"]
+__all__ = ["MarshallingReport", "StreamMarshaller", "FAILURE_POLICIES"]
+
+#: Valid ``failure_policy`` values for :meth:`StreamMarshaller.run`.
+FAILURE_POLICIES = ("raise", "skip", "defer")
+
+
+@dataclass
+class _DeferredSegment:
+    """A relay that exhausted its retries, queued for a later horizon."""
+
+    segment: StreamSegment
+    event_type: EventType
+    deferrals: int = 1
+
+
+def _truth_frames_in(
+    stream: VideoStream, segment: StreamSegment, event_type: EventType
+) -> set:
+    """Ground-truth event frames of ``event_type`` inside ``segment``."""
+    frames: set = set()
+    for instance in stream.schedule.instances_of(event_type):
+        if instance.overlaps(segment.start, segment.end):
+            frames.update(
+                range(
+                    max(instance.start, segment.start),
+                    min(instance.end, segment.end) + 1,
+                )
+            )
+    return frames
 
 
 def _merge_runs(runs):
@@ -47,7 +76,18 @@ def _merge_runs(runs):
 
 @dataclass
 class MarshallingReport:
-    """Outcome of marshalling one stream."""
+    """Outcome of marshalling one stream.
+
+    ``total_cost`` is the cost *this run* added to the service ledger (the
+    delta over the run, not the ledger's lifetime total), so one service
+    can back many marshals without inflating later reports.
+
+    The failure counters (``segments_failed`` / ``segments_deferred`` /
+    ``frames_lost`` / ``lost_event_frames`` / ``retries``) are all zero on
+    reliable infrastructure; they fill in when the service raises
+    :class:`~repro.cloud.faults.CIError` and ``run(...,
+    failure_policy="skip"|"defer")`` absorbs the failure.
+    """
 
     horizons_evaluated: int = 0
     frames_covered: int = 0
@@ -56,10 +96,29 @@ class MarshallingReport:
     detections: List[Detection] = field(default_factory=list)
     true_event_frames: int = 0
     detected_event_frames: int = 0
+    segments_failed: int = 0
+    segments_deferred: int = 0
+    frames_lost: int = 0
+    lost_event_frames: int = 0
+    retries: int = 0
 
     @property
     def frame_recall(self) -> float:
-        """Fraction of true event frames the CI actually saw (≈ REC)."""
+        """Recall the marshalling *decisions* achieve on reliable
+        infrastructure (≈ the paper's REC): true event frames the CI saw,
+        plus those in selected-but-lost segments it would have seen.
+        Identical to ``effective_recall`` when nothing was lost."""
+        if self.true_event_frames == 0:
+            return float("nan")
+        return (
+            self.detected_event_frames + self.lost_event_frames
+        ) / self.true_event_frames
+
+    @property
+    def effective_recall(self) -> float:
+        """End-to-end recall charging infrastructure losses: only true
+        event frames the CI *actually* saw count — frames lost to failed
+        relays (``lost_event_frames``) are charged against REC."""
         if self.true_event_frames == 0:
             return float("nan")
         return self.detected_event_frames / self.true_event_frames
@@ -91,6 +150,11 @@ class MarshallingReport:
             self.detections.extend(other.detections)
             self.true_event_frames += other.true_event_frames
             self.detected_event_frames += other.detected_event_frames
+            self.segments_failed += other.segments_failed
+            self.segments_deferred += other.segments_deferred
+            self.frames_lost += other.frames_lost
+            self.lost_event_frames += other.lost_event_frames
+            self.retries += other.retries
         return self
 
     @classmethod
@@ -108,7 +172,13 @@ class MarshallingReport:
             "true_event_frames": self.true_event_frames,
             "detected_event_frames": self.detected_event_frames,
             "num_detections": len(self.detections),
+            "segments_failed": self.segments_failed,
+            "segments_deferred": self.segments_deferred,
+            "frames_lost": self.frames_lost,
+            "lost_event_frames": self.lost_event_frames,
+            "retries": self.retries,
             "frame_recall": self.frame_recall,
+            "effective_recall": self.effective_recall,
             "relay_fraction": self.relay_fraction,
         }
         if include_detections:
@@ -232,6 +302,99 @@ class StreamMarshaller:
         ]
         return exists, segments
 
+    # ------------------------------------------------------------------
+    # Degraded-mode bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _advance_service_clock(service, seconds: float) -> None:
+        """Tell a resilience-aware service that stream time passed.
+
+        One horizon of the stream takes horizon/fps wall seconds; a
+        circuit breaker waiting out its recovery window needs that time to
+        flow even while it rejects every call.  Plain services ignore it.
+        """
+        advance = getattr(service, "advance_clock", None)
+        if advance is not None:
+            advance(seconds)
+
+    def _fail_segment(
+        self,
+        stream: VideoStream,
+        segment: StreamSegment,
+        event_type: EventType,
+        report: MarshallingReport,
+        error: CIError,
+    ) -> None:
+        """Give up on ``segment``: charge its frames as lost."""
+        report.segments_failed += 1
+        report.frames_lost += segment.num_frames
+        report.lost_event_frames += len(
+            _truth_frames_in(stream, segment, event_type)
+        )
+        inc("marshal.segments_failed")
+        inc("marshal.frames_lost", segment.num_frames)
+        log_info(
+            "marshal.segment_lost",
+            start=segment.start,
+            end=segment.end,
+            event_type=event_type.name,
+            error=type(error).__name__,
+        )
+
+    def _defer_segment(
+        self,
+        item: _DeferredSegment,
+        pending: List[_DeferredSegment],
+        report: MarshallingReport,
+    ) -> None:
+        report.segments_deferred += 1
+        pending.append(item)
+        inc("marshal.segments_deferred")
+
+    def _credit_success(
+        self,
+        stream: VideoStream,
+        segment: StreamSegment,
+        event_type: EventType,
+        detections: List[Detection],
+        report: MarshallingReport,
+    ) -> None:
+        """Accounting for a relay that succeeded outside its home horizon."""
+        report.detections.extend(detections)
+        report.frames_relayed += segment.num_frames
+        covered = set()
+        for det in detections:
+            covered.update(range(det.start, det.end + 1))
+        truth = _truth_frames_in(stream, segment, event_type)
+        report.detected_event_frames += len(covered & truth)
+
+    def _attempt_deferred(
+        self,
+        pending: List[_DeferredSegment],
+        stream: VideoStream,
+        service: CloudInferenceService,
+        report: MarshallingReport,
+        max_deferrals: int,
+    ) -> List[_DeferredSegment]:
+        """One retry round over the deferral queue; returns what remains."""
+        still_pending: List[_DeferredSegment] = []
+        for item in pending:
+            try:
+                detections = service.detect(item.segment, item.event_type)
+            except CIError as exc:
+                if item.deferrals >= max_deferrals:
+                    self._fail_segment(
+                        stream, item.segment, item.event_type, report, exc
+                    )
+                else:
+                    item.deferrals += 1
+                    self._defer_segment(item, still_pending, report)
+            else:
+                self._credit_success(
+                    stream, item.segment, item.event_type, detections, report
+                )
+        return still_pending
+
     def run(
         self,
         stream: VideoStream,
@@ -239,12 +402,35 @@ class StreamMarshaller:
         service: CloudInferenceService,
         start_frame: Optional[int] = None,
         max_horizons: Optional[int] = None,
+        failure_policy: str = "raise",
+        max_deferrals: int = 8,
     ) -> MarshallingReport:
-        """Marshal ``stream`` horizon by horizon through ``service``."""
+        """Marshal ``stream`` horizon by horizon through ``service``.
+
+        ``failure_policy`` decides what happens when ``service.detect``
+        raises a :class:`~repro.cloud.faults.CIError` (retries, if any,
+        already exhausted inside the service wrapper):
+
+        * ``"raise"`` (default) — propagate; the perfect-infrastructure
+          contract of the original loop.
+        * ``"skip"`` — drop the segment, charging its frames to
+          ``frames_lost`` / ``lost_event_frames``.
+        * ``"defer"`` — re-queue the segment into the next horizon (the
+          queue drains at stream end, so deferrals are clamped to it);
+          a segment failing more than ``max_deferrals`` times is charged
+          as lost, which bounds the run even under sustained faults.
+        """
         if features.num_frames != stream.length:
             raise ValueError("feature matrix length != stream length")
         if service.stream is not stream:
             raise ValueError("service must be bound to the same stream")
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        if max_deferrals < 1:
+            raise ValueError("max_deferrals must be >= 1")
         report = MarshallingReport()
         horizon = self.horizon
         frame = start_frame if start_frame is not None else self.pipeline.min_frame()
@@ -252,6 +438,8 @@ class StreamMarshaller:
             raise ValueError("start_frame leaves no room for the collection window")
 
         cost_before = service.ledger.total_cost
+        retries_before = getattr(getattr(service, "stats", None), "retries", 0)
+        pending: List[_DeferredSegment] = []
         with span("marshal.run", start_frame=frame, horizon=horizon):
             while frame + horizon < stream.length:
                 if (
@@ -260,6 +448,10 @@ class StreamMarshaller:
                 ):
                     break
                 with span("marshal.horizon", frame=frame):
+                    if pending:
+                        pending = self._attempt_deferred(
+                            pending, stream, service, report, max_deferrals
+                        )
                     window = self.pipeline.covariates_at(features, frame)
                     output = self.model.predict(window[None])
                     exists, segments = self._decide(output)
@@ -285,7 +477,22 @@ class StreamMarshaller:
                             segment = stream.segment(
                                 frame + start_offset, frame + end_offset
                             )
-                            detections = service.detect(segment, event_type)
+                            try:
+                                detections = service.detect(segment, event_type)
+                            except CIError as exc:
+                                if failure_policy == "raise":
+                                    raise
+                                if failure_policy == "skip":
+                                    self._fail_segment(
+                                        stream, segment, event_type, report, exc
+                                    )
+                                else:
+                                    self._defer_segment(
+                                        _DeferredSegment(segment, event_type),
+                                        pending,
+                                        report,
+                                    )
+                                continue
                             report.detections.extend(detections)
                             report.frames_relayed += segment.num_frames
                             for det in detections:
@@ -295,12 +502,26 @@ class StreamMarshaller:
                     report.horizons_evaluated += 1
                     report.frames_covered += horizon
                     frame += horizon
+                self._advance_service_clock(service, horizon / stream.fps)
 
-        report.total_cost = service.ledger.total_cost
+            if pending:
+                # Stream exhausted with relays still queued: drain in
+                # bounded rounds (each failure consumes a deferral).
+                with span("marshal.drain", pending=len(pending)):
+                    while pending:
+                        pending = self._attempt_deferred(
+                            pending, stream, service, report, max_deferrals
+                        )
+                        self._advance_service_clock(service, horizon / stream.fps)
+
+        report.total_cost = service.ledger.total_cost - cost_before
+        report.retries = (
+            getattr(getattr(service, "stats", None), "retries", 0) - retries_before
+        )
         inc("marshal.horizons", report.horizons_evaluated)
         inc("marshal.frames_covered", report.frames_covered)
         inc("marshal.frames_relayed", report.frames_relayed)
-        inc("marshal.cost", report.total_cost - cost_before)
+        inc("marshal.cost", report.total_cost)
         inc("stage.frames_covered", report.frames_covered)
         inc("stage.frames_featurized", report.frames_covered)
         inc("stage.predictions", report.horizons_evaluated)

@@ -20,7 +20,24 @@ from ..video.events import EventType
 from ..video.stream import StreamSegment, VideoStream
 from .pricing import FlatPricing, PricingModel
 
-__all__ = ["Detection", "UsageLedger", "CloudInferenceService"]
+__all__ = ["Detection", "UsageLedger", "CloudInferenceService", "merge_segments"]
+
+
+def merge_segments(segments: Sequence[StreamSegment]) -> List[StreamSegment]:
+    """Maximal disjoint segments covering ``segments``.
+
+    Overlapping *or adjacent* inputs coalesce — the billing-relevant union
+    used by :meth:`CloudInferenceService.detect_many`.
+    """
+    ordered = sorted(segments, key=lambda s: (s.start, s.end))
+    merged: List[StreamSegment] = []
+    for segment in ordered:
+        if merged and segment.start <= merged[-1].end + 1:
+            if segment.end > merged[-1].end:
+                merged[-1] = StreamSegment(merged[-1].start, segment.end)
+        else:
+            merged.append(segment)
+    return merged
 
 
 @dataclass(frozen=True)
@@ -52,6 +69,17 @@ class UsageLedger:
         self.frames_per_event[event_name] = (
             self.frames_per_event.get(event_name, 0) + frames
         )
+
+    def reset(self) -> None:
+        """Zero every counter in place (new billing period).
+
+        In-place so references held by wrappers (fault injectors, resilient
+        clients) keep observing the same ledger object.
+        """
+        self.frames_processed = 0
+        self.requests = 0
+        self.total_cost = 0.0
+        self.frames_per_event.clear()
 
 
 class CloudInferenceService:
@@ -89,7 +117,7 @@ class CloudInferenceService:
 
     def reset(self) -> None:
         """Clear the ledger (new billing period)."""
-        self.ledger = UsageLedger()
+        self.ledger.reset()
         self._simulated_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -134,8 +162,15 @@ class CloudInferenceService:
     def detect_many(
         self, segments: Sequence[StreamSegment], event_type: EventType
     ) -> List[Detection]:
-        """Detect over several segments, merging the per-segment results."""
+        """Detect over several segments, merging the per-segment results.
+
+        Overlapping or adjacent input segments are merged into maximal
+        disjoint segments *before* billing, so no frame is charged twice
+        for one batch (and under tiered pricing the merged frame count is
+        what walks the tier schedule).  One request is billed per merged
+        segment.
+        """
         out: List[Detection] = []
-        for segment in segments:
+        for segment in merge_segments(segments):
             out.extend(self.detect(segment, event_type))
         return out

@@ -3,6 +3,13 @@ knob/hyper-parameter sweeps, per-figure generators, and text reporting."""
 
 from .tasks import REPRESENTATIVE_TASKS, TASKS, Task, get_task
 from .experiments import CurvePoint, Experiment, ExperimentSettings, run_experiment
+from .chaos import (
+    DEFAULT_FAULT_RATES,
+    DEFAULT_RETRY_POLICIES,
+    chaos_experiment,
+    chaos_marshaller,
+    run_chaos_cell,
+)
 from .sweeps import (
     DEFAULT_ALPHAS,
     DEFAULT_CONFIDENCES,
@@ -35,6 +42,11 @@ __all__ = [
     "ExperimentSettings",
     "CurvePoint",
     "run_experiment",
+    "DEFAULT_FAULT_RATES",
+    "DEFAULT_RETRY_POLICIES",
+    "chaos_experiment",
+    "chaos_marshaller",
+    "run_chaos_cell",
     "min_spl_at_rec",
     "pareto_frontier",
     "sweep_window_size",

@@ -1,0 +1,160 @@
+"""Chaos harness: the paper's REC/cost trade-off under unreliable CI.
+
+``chaos_experiment`` sweeps fault rates × retry policies over one task's
+marshalling deployment: each cell runs the full horizon-by-horizon loop
+against a seeded :class:`~repro.cloud.faults.FaultInjector` wrapped in a
+:class:`~repro.cloud.resilient.ResilientCIClient`, and reports recall
+(model-level and effective), dollar cost, and retry overhead.  Everything
+is deterministic — the same seed, plan, and policy reproduce identical
+retries, breaker transitions, and report counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cloud import (
+    BreakerConfig,
+    CloudInferenceService,
+    FaultInjector,
+    FaultPlan,
+    ResilientCIClient,
+    RetryPolicy,
+    StreamMarshaller,
+)
+from ..features import CovariatePipeline
+from ..obs import log_info, span
+from .experiments import Experiment, ExperimentSettings, run_experiment
+
+__all__ = [
+    "DEFAULT_FAULT_RATES",
+    "DEFAULT_RETRY_POLICIES",
+    "chaos_experiment",
+    "chaos_marshaller",
+    "run_chaos_cell",
+]
+
+#: Default raising-fault rates swept by the chaos harness.
+DEFAULT_FAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+#: Default retry policies: none, modest, aggressive.
+DEFAULT_RETRY_POLICIES = (
+    RetryPolicy(max_attempts=1),
+    RetryPolicy(max_attempts=3),
+    RetryPolicy(max_attempts=6),
+)
+
+
+def chaos_marshaller(
+    experiment: Experiment,
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+) -> StreamMarshaller:
+    """The deployment-shaped marshaller (EHCR configuration) for one task."""
+    pipeline = CovariatePipeline(
+        experiment.data.spec.window_size,
+        standardizer=experiment.data.standardizer,
+    )
+    return StreamMarshaller(
+        experiment.model,
+        experiment.data.event_types,
+        pipeline,
+        classifier=experiment.classifier,
+        regressor=experiment.regressor,
+        confidence=confidence,
+        alpha=alpha,
+    )
+
+
+def run_chaos_cell(
+    marshaller: StreamMarshaller,
+    experiment: Experiment,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    breaker: Optional[BreakerConfig] = None,
+    failure_policy: str = "defer",
+    max_horizons: Optional[int] = None,
+) -> Dict[str, float]:
+    """One (plan, policy) cell: fresh service stack, one marshalling run."""
+    service = CloudInferenceService(experiment.data.test_stream)
+    injector = FaultInjector(service, plan)
+    client = ResilientCIClient(injector, policy=policy, breaker=breaker)
+    report = marshaller.run(
+        experiment.data.test_stream,
+        experiment.data.test_features,
+        client,
+        max_horizons=max_horizons,
+        failure_policy=failure_policy,
+    )
+    attempts = max(1, client.stats.attempts)
+    return {
+        "fault_rate": plan.failure_rate,
+        "max_attempts": policy.max_attempts,
+        "REC": report.frame_recall,
+        "REC_eff": report.effective_recall,
+        "cost": report.total_cost,
+        "retries": report.retries,
+        "retry_overhead": client.stats.retries / attempts,
+        "wait_s": client.stats.seconds_waited,
+        "frames_lost": report.frames_lost,
+        "deferred": report.segments_deferred,
+        "failed": report.segments_failed,
+        "breaker_opens": client.breaker.open_count,
+        "billed_failures": injector.stats.billed_failures,
+    }
+
+
+def chaos_experiment(
+    task,
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    policies: Sequence[RetryPolicy] = DEFAULT_RETRY_POLICIES,
+    settings: Optional[ExperimentSettings] = None,
+    base_plan: Optional[FaultPlan] = None,
+    breaker: Optional[BreakerConfig] = None,
+    failure_policy: str = "defer",
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+    seed: int = 0,
+    max_horizons: Optional[int] = None,
+    experiment: Optional[Experiment] = None,
+) -> List[Dict[str, float]]:
+    """Sweep fault rates × retry policies over one task's deployment.
+
+    One experiment (train + calibrate) backs the whole grid; each cell
+    rescales ``base_plan`` (default: a uniform plan seeded with ``seed``)
+    to the cell's raising-fault rate and runs marshalling with
+    ``failure_policy`` through a fresh injector + resilient client.
+    Returns one row dict per cell, ready for ``format_table``.
+    """
+    if experiment is None:
+        experiment = run_experiment(task, settings=settings)
+    if base_plan is None:
+        base_plan = FaultPlan(seed=seed)
+    marshaller = chaos_marshaller(experiment, confidence=confidence, alpha=alpha)
+    rows: List[Dict[str, float]] = []
+    with span("chaos", task=experiment.task.task_id, cells=len(fault_rates) * len(policies)):
+        for rate in fault_rates:
+            plan = base_plan.with_failure_rate(rate)
+            for policy in policies:
+                with span(
+                    "chaos.cell", fault_rate=rate, max_attempts=policy.max_attempts
+                ):
+                    row = run_chaos_cell(
+                        marshaller,
+                        experiment,
+                        plan,
+                        policy,
+                        breaker=breaker,
+                        failure_policy=failure_policy,
+                        max_horizons=max_horizons,
+                    )
+                rows.append(row)
+                log_info(
+                    "chaos.cell",
+                    fault_rate=rate,
+                    max_attempts=policy.max_attempts,
+                    rec_eff=row["REC_eff"],
+                    cost=row["cost"],
+                    retries=row["retries"],
+                )
+    return rows

@@ -1,0 +1,207 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import json
+
+import pytest
+
+from repro.cloud import (
+    CIOutage,
+    CIThrottled,
+    CITimeout,
+    CITransientError,
+    CloudInferenceService,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.video.events import EventInstance, EventSchedule, EventType
+from repro.video.stream import StreamSegment, VideoStream
+
+ET = EventType("truck", duration_mean=20, duration_std=2)
+
+
+def make_stream():
+    sched = EventSchedule(
+        1000, [EventInstance(100, 149, ET), EventInstance(600, 619, ET)]
+    )
+    return VideoStream(1000, sched, seed=0)
+
+
+def make_injector(**plan_kwargs):
+    plan = FaultPlan(**plan_kwargs)
+    return FaultInjector(CloudInferenceService(make_stream()), plan)
+
+
+class TestFaultPlan:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_rate=0.6, throttle_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultPlan(partial_fraction=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(outages=((5, 5),))
+        with pytest.raises(ValueError):
+            FaultPlan(latency_spike_seconds=-1)
+
+    def test_uniform_splits_rate(self):
+        plan = FaultPlan.uniform(0.3, seed=7)
+        assert plan.failure_rate == pytest.approx(0.3)
+        assert plan.timeout_rate == pytest.approx(0.1)
+        assert plan.seed == 7
+
+    def test_with_failure_rate_rescales_proportionally(self):
+        plan = FaultPlan(timeout_rate=0.2, throttle_rate=0.1, transient_rate=0.1)
+        scaled = plan.with_failure_rate(0.8)
+        assert scaled.failure_rate == pytest.approx(0.8)
+        assert scaled.timeout_rate == pytest.approx(0.4)
+        assert scaled.throttle_rate == pytest.approx(0.2)
+
+    def test_with_failure_rate_from_zero_splits_evenly(self):
+        scaled = FaultPlan().with_failure_rate(0.3)
+        assert scaled.timeout_rate == pytest.approx(0.1)
+        assert scaled.failure_rate == pytest.approx(0.3)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            timeout_rate=0.1,
+            throttle_rate=0.05,
+            outages=((10, 20),),
+            bill_on_timeout=False,
+            seed=42,
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        # to_json is valid JSON with list-typed outages
+        assert json.loads(plan.to_json())["outages"] == [[10, 20]]
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"timeout_rate": 0.1, "bogus": 1})
+
+    def test_total_rate_includes_non_raising_faults(self):
+        plan = FaultPlan(timeout_rate=0.1, partial_rate=0.2, latency_spike_rate=0.1)
+        assert plan.failure_rate == pytest.approx(0.1)
+        assert plan.total_rate == pytest.approx(0.4)
+
+
+class TestFaultInjector:
+    def test_zero_plan_is_transparent(self):
+        injector = make_injector()
+        direct = CloudInferenceService(make_stream())
+        seg = StreamSegment(90, 200)
+        assert injector.detect(seg, ET) == direct.detect(seg, ET)
+        assert injector.ledger.total_cost == direct.ledger.total_cost
+        assert injector.simulated_seconds == direct.simulated_seconds
+        assert injector.stats.failures == 0
+
+    def test_outage_window_rejects_deterministically(self):
+        injector = make_injector(outages=((1, 3),))
+        seg = StreamSegment(0, 9)
+        injector.detect(seg, ET)  # call 0: fine
+        with pytest.raises(CIOutage):
+            injector.detect(seg, ET)  # call 1
+        with pytest.raises(CIOutage):
+            injector.detect(seg, ET)  # call 2
+        injector.detect(seg, ET)  # call 3: window over
+        assert injector.stats.outage_rejections == 2
+        # outages are never billed
+        assert injector.ledger.requests == 2
+
+    def test_timeout_billing_configurable(self):
+        billed = make_injector(timeout_rate=1.0, bill_on_timeout=True)
+        with pytest.raises(CITimeout) as exc_info:
+            billed.detect(StreamSegment(0, 9), ET)
+        assert exc_info.value.billed
+        assert billed.ledger.frames_processed == 10
+        assert billed.stats.billed_failures == 1
+        assert billed.stats.frames_billed_on_failure == 10
+
+        unbilled = make_injector(timeout_rate=1.0, bill_on_timeout=False)
+        with pytest.raises(CITimeout) as exc_info:
+            unbilled.detect(StreamSegment(0, 9), ET)
+        assert not exc_info.value.billed
+        assert unbilled.ledger.frames_processed == 0
+        assert unbilled.stats.unbilled_failures == 1
+
+    def test_throttle_carries_retry_hint_and_is_unbilled(self):
+        injector = make_injector(throttle_rate=1.0, retry_after_seconds=2.5)
+        with pytest.raises(CIThrottled) as exc_info:
+            injector.detect(StreamSegment(0, 9), ET)
+        assert exc_info.value.retry_after == 2.5
+        assert injector.ledger.frames_processed == 0
+
+    def test_transient_is_unbilled(self):
+        injector = make_injector(transient_rate=1.0)
+        with pytest.raises(CITransientError):
+            injector.detect(StreamSegment(0, 9), ET)
+        assert injector.ledger.frames_processed == 0
+        assert injector.stats.faults == {"transient": 1}
+
+    def test_partial_response_bills_full_but_truncates(self):
+        injector = make_injector(partial_rate=1.0, partial_fraction=0.5)
+        # Event occupies [100, 149]; prefix of [100, 199] is [100, 149].
+        detections = injector.detect(StreamSegment(100, 199), ET)
+        assert injector.ledger.frames_processed == 100  # full bill
+        assert detections and detections[0].end <= 149
+        # Prefix of [120, 159] keeps 20 frames -> [120, 139]; the
+        # detection [120, 149] is clipped to 139.
+        detections = injector.detect(StreamSegment(120, 159), ET)
+        assert detections[0].end == 139
+        assert injector.stats.partial_responses == 2
+
+    def test_partial_drops_detections_past_prefix(self):
+        injector = make_injector(partial_rate=1.0, partial_fraction=0.1)
+        # Prefix of [0, 999] keeps [0, 99]; both events start after 99.
+        detections = injector.detect(StreamSegment(0, 999), ET)
+        assert detections == []
+        assert injector.stats.detections_truncated == 2
+
+    def test_latency_spike_extends_simulated_time(self):
+        injector = make_injector(latency_spike_rate=1.0, latency_spike_seconds=7.0)
+        injector.detect(StreamSegment(0, 9), ET)
+        inner = injector.service.simulated_seconds
+        assert injector.simulated_seconds == pytest.approx(inner + 7.0)
+        assert injector.stats.latency_spikes == 1
+
+    def test_seeded_fault_sequence_is_deterministic(self):
+        def run(seed):
+            injector = make_injector(
+                timeout_rate=0.2, throttle_rate=0.2, transient_rate=0.2, seed=seed
+            )
+            outcomes = []
+            for i in range(40):
+                try:
+                    injector.detect(StreamSegment(i * 10, i * 10 + 9), ET)
+                    outcomes.append("ok")
+                except Exception as exc:  # noqa: BLE001 - recording type only
+                    outcomes.append(type(exc).__name__)
+            return outcomes, injector.stats.as_dict()
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_reset_replays_the_fault_sequence(self):
+        injector = make_injector(transient_rate=0.5, seed=11)
+        first = []
+        for i in range(20):
+            try:
+                injector.detect(StreamSegment(i, i), ET)
+                first.append("ok")
+            except CITransientError:
+                first.append("err")
+        injector.reset()
+        assert injector.ledger.frames_processed == 0
+        second = []
+        for i in range(20):
+            try:
+                injector.detect(StreamSegment(i, i), ET)
+                second.append("ok")
+            except CITransientError:
+                second.append("err")
+        assert first == second
+
+    def test_detect_many_propagates_faults(self):
+        injector = make_injector(transient_rate=1.0)
+        with pytest.raises(CITransientError):
+            injector.detect_many([StreamSegment(0, 9)], ET)

@@ -9,6 +9,7 @@ from repro.cloud import (
     Detection,
     FlatPricing,
     TieredPricing,
+    merge_segments,
 )
 from repro.video.events import EventInstance, EventSchedule, EventType
 from repro.video.stream import StreamSegment, VideoStream
@@ -135,3 +136,100 @@ class TestCloudInferenceService:
     def test_ci_fps_validation(self):
         with pytest.raises(ValueError):
             CloudInferenceService(make_stream(), ci_fps=0)
+
+
+class TestMergeSegments:
+    def test_disjoint_segments_unchanged(self):
+        segments = [StreamSegment(0, 9), StreamSegment(20, 29)]
+        assert merge_segments(segments) == segments
+
+    def test_overlapping_segments_coalesce(self):
+        merged = merge_segments([StreamSegment(0, 50), StreamSegment(30, 80)])
+        assert merged == [StreamSegment(0, 80)]
+
+    def test_adjacent_segments_coalesce(self):
+        merged = merge_segments([StreamSegment(0, 9), StreamSegment(10, 19)])
+        assert merged == [StreamSegment(0, 19)]
+
+    def test_unsorted_and_nested_inputs(self):
+        merged = merge_segments(
+            [StreamSegment(50, 60), StreamSegment(0, 100), StreamSegment(70, 80)]
+        )
+        assert merged == [StreamSegment(0, 100)]
+
+    def test_empty_input(self):
+        assert merge_segments([]) == []
+
+
+class TestDetectManyBilling:
+    """detect_many must never double-bill frames shared by its inputs."""
+
+    def test_overlapping_segments_billed_once(self):
+        service = CloudInferenceService(make_stream())
+        service.detect_many([StreamSegment(0, 99), StreamSegment(50, 149)], ET)
+        # the union [0, 149] is 150 frames, not 100 + 100
+        assert service.ledger.frames_processed == 150
+        assert service.ledger.total_cost == pytest.approx(0.15)
+
+    def test_adjacent_segments_billed_as_one_request(self):
+        service = CloudInferenceService(make_stream())
+        service.detect_many([StreamSegment(0, 9), StreamSegment(10, 19)], ET)
+        assert service.ledger.requests == 1
+        assert service.ledger.frames_processed == 20
+
+    def test_detections_not_duplicated_across_overlap(self):
+        service = CloudInferenceService(make_stream())
+        # both segments cover event [100, 149]
+        detections = service.detect_many(
+            [StreamSegment(90, 160), StreamSegment(95, 200)], ET
+        )
+        assert detections == [Detection("truck", 100, 149)]
+
+    def test_merged_billing_matches_equivalent_single_call(self):
+        many = CloudInferenceService(make_stream())
+        many.detect_many([StreamSegment(0, 99), StreamSegment(50, 149)], ET)
+        single = CloudInferenceService(make_stream())
+        single.detect(StreamSegment(0, 149), ET)
+        assert many.ledger.total_cost == pytest.approx(single.ledger.total_cost)
+        assert many.simulated_seconds == pytest.approx(single.simulated_seconds)
+
+    def test_tiered_pricing_sees_merged_volume(self):
+        pricing = TieredPricing(tiers=((0, 0.001), (100, 0.0005)))
+        service = CloudInferenceService(make_stream(), pricing=pricing)
+        # union is [0, 149]: the first 100 frames at tier 0, 50 at tier 1.
+        service.detect_many([StreamSegment(0, 99), StreamSegment(50, 149)], ET)
+        assert service.ledger.total_cost == pytest.approx(100 * 0.001 + 50 * 0.0005)
+
+
+class TestLedgerReset:
+    def test_reset_zeroes_every_counter_in_place(self):
+        service = CloudInferenceService(make_stream())
+        ledger = service.ledger
+        service.detect(StreamSegment(0, 99), ET)
+        assert ledger.frames_processed == 100
+        ledger.reset()
+        # same object, zeroed — wrapper references stay valid
+        assert service.ledger is ledger
+        assert ledger.frames_processed == 0
+        assert ledger.requests == 0
+        assert ledger.total_cost == 0.0
+        assert ledger.frames_per_event == {}
+
+    def test_service_reset_clears_simulated_time_too(self):
+        service = CloudInferenceService(make_stream(), ci_fps=10)
+        service.detect(StreamSegment(0, 99), ET)
+        assert service.simulated_seconds > 0
+        service.reset()
+        assert service.simulated_seconds == 0.0
+        # billing after a reset starts from scratch
+        service.detect(StreamSegment(0, 99), ET)
+        assert service.ledger.frames_processed == 100
+        assert service.simulated_seconds == pytest.approx(10.0)
+
+    def test_tiered_pricing_restarts_at_tier_zero_after_reset(self):
+        pricing = TieredPricing(tiers=((0, 0.001), (100, 0.0005)))
+        service = CloudInferenceService(make_stream(), pricing=pricing)
+        service.detect(StreamSegment(0, 149), ET)  # crosses into tier 1
+        service.reset()
+        service.detect(StreamSegment(0, 49), ET)  # 50 frames, tier 0 again
+        assert service.ledger.total_cost == pytest.approx(50 * 0.001)

@@ -32,6 +32,22 @@ def report_b():
     )
 
 
+def report_degraded():
+    return MarshallingReport(
+        horizons_evaluated=1,
+        frames_covered=200,
+        frames_relayed=40,
+        total_cost=0.04,
+        true_event_frames=20,
+        detected_event_frames=10,
+        segments_failed=2,
+        segments_deferred=3,
+        frames_lost=60,
+        lost_event_frames=5,
+        retries=7,
+    )
+
+
 class TestMerge:
     def test_merge_accumulates_counts_and_costs(self):
         merged = report_a().merge(report_b())
@@ -66,6 +82,24 @@ class TestMerge:
         assert merged.horizons_evaluated == 0
         assert math.isnan(merged.frame_recall)
 
+    def test_merge_sums_failure_counters(self):
+        merged = MarshallingReport.merged([report_degraded(), report_degraded()])
+        assert merged.segments_failed == 4
+        assert merged.segments_deferred == 6
+        assert merged.frames_lost == 120
+        assert merged.lost_event_frames == 10
+        assert merged.retries == 14
+
+    def test_merge_with_clean_report_preserves_failure_counters(self):
+        merged = report_a().merge(report_degraded())
+        assert merged.segments_failed == 2
+        assert merged.frames_lost == 60
+        assert merged.retries == 7
+        # recall semantics hold across the union: the lost event frames
+        # still credit frame_recall but not effective_recall
+        assert merged.frame_recall == pytest.approx((40 + 10 + 5) / 70)
+        assert merged.effective_recall == pytest.approx((40 + 10) / 70)
+
 
 class TestToDict:
     def test_single_serialization_path(self):
@@ -84,6 +118,22 @@ class TestToDict:
         d = MarshallingReport().to_dict()
         assert math.isnan(d["frame_recall"])
         assert math.isnan(d["relay_fraction"])
+
+    def test_failure_counters_and_effective_recall_serialized(self):
+        d = report_degraded().to_dict()
+        assert d["segments_failed"] == 2
+        assert d["segments_deferred"] == 3
+        assert d["frames_lost"] == 60
+        assert d["lost_event_frames"] == 5
+        assert d["retries"] == 7
+        assert d["frame_recall"] == pytest.approx((10 + 5) / 20)
+        assert d["effective_recall"] == pytest.approx(10 / 20)
+
+    def test_clean_report_serializes_zero_failure_counters(self):
+        d = report_a().to_dict()
+        assert d["segments_failed"] == 0
+        assert d["frames_lost"] == 0
+        assert d["effective_recall"] == d["frame_recall"]
 
     def test_round_trips_through_merge(self):
         merged_dict = MarshallingReport.merged([report_a(), report_b()]).to_dict()

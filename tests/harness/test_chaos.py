@@ -1,0 +1,103 @@
+"""Tests for the chaos harness: fault-rate × retry-policy sweeps."""
+
+import pytest
+
+from repro.cloud import BreakerConfig, FaultPlan, RetryPolicy
+from repro.harness import (
+    DEFAULT_FAULT_RATES,
+    DEFAULT_RETRY_POLICIES,
+    ExperimentSettings,
+    chaos_experiment,
+    chaos_marshaller,
+    run_chaos_cell,
+    run_experiment,
+)
+
+FAST = ExperimentSettings(scale=0.05, max_records=100, epochs=2, seed=0)
+
+ROW_KEYS = {
+    "fault_rate",
+    "max_attempts",
+    "REC",
+    "REC_eff",
+    "cost",
+    "retries",
+    "retry_overhead",
+    "wait_s",
+    "frames_lost",
+    "deferred",
+    "failed",
+    "breaker_opens",
+    "billed_failures",
+}
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment("TA10", settings=FAST)
+
+
+class TestDefaults:
+    def test_default_grid_starts_reliable(self):
+        assert DEFAULT_FAULT_RATES[0] == 0.0
+        assert [p.max_attempts for p in DEFAULT_RETRY_POLICIES] == [1, 3, 6]
+
+
+@pytest.mark.chaos
+class TestChaosExperiment:
+    def test_grid_shape_and_row_schema(self, experiment):
+        rows = chaos_experiment(
+            "TA10",
+            fault_rates=(0.0, 0.3),
+            policies=(RetryPolicy(max_attempts=2),),
+            experiment=experiment,
+            max_horizons=3,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row) == ROW_KEYS
+        assert [r["fault_rate"] for r in rows] == [pytest.approx(0.0), pytest.approx(0.3)]
+
+    def test_zero_fault_cell_is_clean(self, experiment):
+        (row,) = chaos_experiment(
+            "TA10",
+            fault_rates=(0.0,),
+            policies=(RetryPolicy(max_attempts=3),),
+            experiment=experiment,
+            max_horizons=3,
+        )
+        assert row["retries"] == 0
+        assert row["frames_lost"] == 0
+        assert row["failed"] == 0
+        assert row["REC"] == row["REC_eff"] or (
+            row["REC"] != row["REC"]  # both NaN when no event frames
+        )
+
+    def test_sweep_is_deterministic(self, experiment):
+        def run():
+            return chaos_experiment(
+                "TA10",
+                fault_rates=(0.4,),
+                policies=(RetryPolicy(max_attempts=3, seed=2),),
+                base_plan=FaultPlan(seed=7),
+                breaker=BreakerConfig(failure_threshold=4, recovery_seconds=5.0),
+                experiment=experiment,
+                max_horizons=3,
+            )
+
+        assert run() == run()
+
+    def test_cells_use_rescaled_base_plan(self, experiment):
+        marshaller = chaos_marshaller(experiment)
+        plan = FaultPlan(seed=3).with_failure_rate(0.6)
+        row = run_chaos_cell(
+            marshaller,
+            experiment,
+            plan,
+            RetryPolicy(max_attempts=1),
+            failure_policy="skip",
+            max_horizons=3,
+        )
+        assert row["fault_rate"] == pytest.approx(0.6)
+        assert row["failed"] > 0
+        assert row["retries"] == 0

@@ -8,6 +8,12 @@ Forbids, across ``src/repro/``:
   argument) is the CLI's job, not logging.
 * ``time.time(`` — wall-clock arithmetic belongs in the span API
   (``time.time_ns``/``perf_counter`` inside ``repro.obs`` implement it).
+* ``time.sleep(`` — resilience code must use injected clocks and
+  deterministic backoff (``ResilientCIClient`` advances a simulated
+  clock), never real sleeps that would make runs slow and flaky.
+* bare ``except:`` — swallowing ``KeyboardInterrupt``/``SystemExit``
+  hides failures; catch a concrete exception type (``CIError`` for the
+  cloud path) instead.
 
 Tokenized scanning, so strings and comments (docstring examples, prose)
 never trip it, and a ``file=`` argument is honored wherever the call
@@ -65,6 +71,13 @@ def scan_file(path, root=None):
             continue
         nxt = tokens[i + 1] if i + 1 < len(tokens) else None
         prev = tokens[i - 1] if i > 0 else None
+        # bare except: — no exception type between the keyword and colon.
+        if tok.string == "except" and nxt is not None and nxt.string == ":":
+            found.append(
+                f"{rel}:{tok.start[0]}: bare except: — catch a concrete "
+                "exception type"
+            )
+            continue
         if nxt is None or nxt.string != "(":
             continue
         # bare print(...) — attribute access (x.print) is not "bare".
@@ -74,18 +87,26 @@ def scan_file(path, root=None):
                     f"{rel}:{tok.start[0]}: bare print( — use repro.obs "
                     "logging or route through the CLI's out= stream"
                 )
-        # time.time(...) — but not time.time_ns / perf_counter.
+        # time.time(...) / time.sleep(...) — but not time.time_ns /
+        # perf_counter.
         if (
-            tok.string == "time"
+            tok.string in ("time", "sleep")
             and prev is not None
             and prev.string == "."
             and i >= 2
             and tokens[i - 2].string == "time"
         ):
-            found.append(
-                f"{rel}:{tok.start[0]}: time.time( — use repro.obs.span "
-                "or time.perf_counter"
-            )
+            if tok.string == "time":
+                found.append(
+                    f"{rel}:{tok.start[0]}: time.time( — use repro.obs.span "
+                    "or time.perf_counter"
+                )
+            else:
+                found.append(
+                    f"{rel}:{tok.start[0]}: time.sleep( — use an injected "
+                    "simulated clock (deterministic backoff), never a real "
+                    "sleep"
+                )
     return found
 
 
@@ -100,7 +121,8 @@ def test_lint_catches_planted_violations(tmp_path):
     """The scanner itself must flag what it claims to flag."""
     planted = tmp_path / "bad.py"
     planted.write_text(
-        '"""print( and time.time( in a docstring are fine."""\n'
+        '"""print(, time.time(, time.sleep( and except: in a docstring '
+        'are fine."""\n'
         "import time\n"
         "print('hello')\n"
         "t = time.time()\n"
@@ -108,8 +130,20 @@ def test_lint_catches_planted_violations(tmp_path):
         "      file=None)\n"
         "elapsed = time.time_ns()\n"
         "obj.print('method, not bare')\n"
+        "time.sleep(1)\n"
+        "try:\n"
+        "    pass\n"
+        "except:\n"
+        "    pass\n"
+        "try:\n"
+        "    pass\n"
+        "except ValueError:\n"
+        "    pass\n"
+        "obj.sleep(2)\n"
     )
     hits = scan_file(planted, root=tmp_path)
-    assert len(hits) == 2
+    assert len(hits) == 4
     assert "bad.py:3" in hits[0] and "print" in hits[0]
     assert "bad.py:4" in hits[1] and "time.time" in hits[1]
+    assert "bad.py:9" in hits[2] and "time.sleep" in hits[2]
+    assert "bad.py:12" in hits[3] and "except" in hits[3]

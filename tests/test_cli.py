@@ -103,6 +103,53 @@ class TestCommands:
         assert "achieved_REC" in text
 
 
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.task == "TA10"
+        assert args.fault_rates == "0,0.05,0.1,0.2,0.4"
+        assert args.max_attempts == "1,3,6"
+        assert args.failure_policy == "defer"
+
+    def test_rejects_unknown_failure_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--failure-policy", "retry"])
+
+    @pytest.mark.chaos
+    def test_chaos_sweep_renders_table(self):
+        code, text = run_cli(
+            ["chaos", "--task", "TA10", "--fault-rates", "0,0.3",
+             "--max-attempts", "2", "--max-horizons", "2",
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        assert "fault_rate" in text and "REC_eff" in text
+        assert "retry_overhead" in text
+        assert text.count("\n") >= 3  # header + 2 cells
+
+    @pytest.mark.chaos
+    def test_fault_plan_round_trip(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        code, _ = run_cli(
+            ["chaos", "--task", "TA10", "--fault-rates", "0",
+             "--max-attempts", "1", "--max-horizons", "1", "--seed", "11",
+             "--fault-plan-out", str(plan_path),
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        payload = json.loads(plan_path.read_text())
+        assert payload["seed"] == 11
+        # the written plan loads back in as the base plan
+        code, text = run_cli(
+            ["chaos", "--task", "TA10", "--fault-rates", "0.2",
+             "--max-attempts", "1", "--max-horizons", "1",
+             "--fault-plan", str(plan_path),
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        assert "fault_rate" in text
+
+
 class TestObservabilityFlags:
     @pytest.fixture(autouse=True)
     def clean_obs(self):
