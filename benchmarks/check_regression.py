@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a fresh ``pytest-benchmark --benchmark-json`` report against the
+committed ``benchmarks/BENCH_baseline.json`` and exits non-zero if any
+gated metric regressed beyond the threshold.
+
+Only *machine-independent* metrics are gated: benchmarks publish ratio
+metrics (currently the fleet:sequential ``speedup``) through
+``benchmark.extra_info``, and those ratios are comparable across runners
+where absolute wall-clock is not.
+
+Usage::
+
+    # check a fresh report against the committed baseline (CI)
+    python benchmarks/check_regression.py BENCH_<sha>.json
+
+    # refresh the baseline after an intentional performance change
+    python benchmarks/check_regression.py BENCH_<sha>.json --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+
+#: extra_info keys gated by the regression check (higher is better).
+GATED_METRICS = ("speedup",)
+
+#: Default allowed fractional drop before the gate fails.
+DEFAULT_THRESHOLD = 0.20
+
+
+def extract_gated(report: dict) -> dict:
+    """Pull {benchmark name: {metric: value}} for gated metrics only."""
+    gated = {}
+    for bench in report.get("benchmarks", []):
+        extra = bench.get("extra_info") or {}
+        metrics = {
+            key: float(extra[key])
+            for key in GATED_METRICS
+            if key in extra
+        }
+        if metrics:
+            gated[bench["name"]] = metrics
+    return gated
+
+
+def update_baseline(gated: dict, baseline_path: Path, threshold: float) -> None:
+    payload = {
+        "note": (
+            "Machine-independent benchmark ratios gated by "
+            "benchmarks/check_regression.py; refresh with --update-baseline "
+            "after an intentional performance change."
+        ),
+        "threshold": threshold,
+        "benchmarks": gated,
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written: {baseline_path}")
+    for name, metrics in sorted(gated.items()):
+        for metric, value in sorted(metrics.items()):
+            print(f"  {name}: {metric} = {value}")
+
+
+def check(gated: dict, baseline: dict, threshold: float) -> int:
+    expected = baseline.get("benchmarks", {})
+    if not expected:
+        print("error: baseline has no gated benchmarks", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, metrics in sorted(expected.items()):
+        current = gated.get(name)
+        if current is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        for metric, base_value in sorted(metrics.items()):
+            value = current.get(metric)
+            if value is None:
+                failures.append(f"{name}: metric {metric!r} missing")
+                continue
+            floor = base_value * (1.0 - threshold)
+            status = "ok" if value >= floor else "REGRESSED"
+            print(
+                f"{name}: {metric} = {value:.3f} "
+                f"(baseline {base_value:.3f}, floor {floor:.3f}) {status}"
+            )
+            if value < floor:
+                failures.append(
+                    f"{name}: {metric} {value:.3f} < floor {floor:.3f} "
+                    f"(baseline {base_value:.3f}, threshold {threshold:.0%})"
+                )
+
+    for name in sorted(set(gated) - set(expected)):
+        print(f"note: {name} not in baseline (add with --update-baseline)")
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report", type=Path,
+        help="pytest-benchmark --benchmark-json output to check",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="allowed fractional drop (default: baseline's, else "
+        f"{DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this report instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text())
+    gated = extract_gated(report)
+    if not gated:
+        print(
+            "error: report contains no gated metrics "
+            f"(looked for {', '.join(GATED_METRICS)} in extra_info)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.update_baseline:
+        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        update_baseline(gated, args.baseline, threshold)
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline not found: {args.baseline}", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    threshold = args.threshold
+    if threshold is None:
+        threshold = float(baseline.get("threshold", DEFAULT_THRESHOLD))
+    return check(gated, baseline, threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

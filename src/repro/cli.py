@@ -16,6 +16,8 @@ reachable from the shell::
     python -m repro.cli metrics --task TA10 --algorithm EHCR
     python -m repro.cli chaos --task TA10 --fault-rates 0,0.1,0.3 \
         --max-attempts 1,4 --failure-policy defer
+    python -m repro.cli fleet --task TA10 --streams 8 --scheduler deadline
+    python -m repro.cli fleet --task TA10 --fleet-sizes 1,4,16   # sweep
 
 All experiment-backed commands accept ``--scale/--epochs/--records/--seed``
 to size the synthetic workload, plus the observability flags
@@ -33,9 +35,13 @@ from typing import List, Optional, Sequence
 
 from . import obs
 from .cloud import BreakerConfig, FaultPlan, RetryPolicy
+from .fleet import SCHEDULERS, FleetCIService
 from .harness import (
     ExperimentSettings,
+    build_fleet_lanes,
     chaos_experiment,
+    fleet_marshaller,
+    fleet_throughput_sweep,
     fig10_stage_breakdown,
     fig4_rec_spl,
     fig5_cclassify,
@@ -195,6 +201,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated seconds the circuit stays open")
     chaos.add_argument("--max-horizons", type=int, default=None,
                        help="cap the marshalled horizons per cell")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-stream batched marshalling over one shared CI account: "
+        "run one fleet (per-stream report table) or sweep fleet sizes "
+        "(throughput vs sequential serving)",
+    )
+    _add_experiment_args(fleet, "TA10")
+    fleet.add_argument("--streams", type=int, default=4,
+                       help="fleet size for a single run")
+    fleet.add_argument(
+        "--scheduler",
+        default="round-robin",
+        choices=sorted(SCHEDULERS),
+        help="relay scheduling policy for the shared CI",
+    )
+    fleet.add_argument(
+        "--budget-frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="global per-tick relay budget in frames (default: unlimited)",
+    )
+    fleet.add_argument(
+        "--fleet-sizes",
+        default=None,
+        metavar="N1,N2,...",
+        help="sweep mode: comma-separated fleet sizes; prints frames/s for "
+        "batched-fleet vs sequential serving at each size",
+    )
+    fleet.add_argument("--max-horizons", type=int, default=6,
+                       help="horizons marshalled per stream")
+    fleet.add_argument("--confidence", type=float, default=0.9)
+    fleet.add_argument("--alpha", type=float, default=0.9)
     return parser
 
 
@@ -300,6 +340,63 @@ def _run_chaos(args: argparse.Namespace, out) -> None:
     print(format_table(rows), file=out)
 
 
+def _run_fleet(args: argparse.Namespace, out) -> None:
+    """One fleet run (per-stream table) or a fleet-size throughput sweep."""
+    experiment = run_experiment(args.task, settings=_settings(args))
+    if args.fleet_sizes is not None:
+        sizes = [int(value) for value in _parse_float_list(args.fleet_sizes)]
+        rows = fleet_throughput_sweep(
+            experiment,
+            fleet_sizes=sizes,
+            max_horizons=args.max_horizons,
+            scheduler=args.scheduler,
+            tick_budget_frames=args.budget_frames,
+            confidence=args.confidence,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+        print(format_table(rows), file=out)
+        return
+    fleet = fleet_marshaller(
+        experiment,
+        confidence=args.confidence,
+        alpha=args.alpha,
+        scheduler=args.scheduler,
+        tick_budget_frames=args.budget_frames,
+    )
+    lanes = build_fleet_lanes(experiment, args.streams, seed=args.seed)
+    service = FleetCIService([lane.stream for lane in lanes])
+    report = fleet.run(lanes, service, max_horizons=args.max_horizons)
+    rows = []
+    for name, stream_report in report.per_stream.items():
+        row = {"stream": name}
+        row.update(
+            (key, stream_report.to_dict()[key])
+            for key in (
+                "horizons_evaluated",
+                "frames_relayed",
+                "total_cost",
+                "frame_recall",
+                "relay_fraction",
+            )
+        )
+        rows.append(row)
+    print(format_table(rows), file=out)
+    print(file=out)
+    summary = report.to_dict()
+    for key in (
+        "num_streams",
+        "scheduler",
+        "ticks",
+        "max_batch_size",
+        "relays_flushed",
+        "relays_postponed",
+        "shared_cost",
+        "attributed_cost",
+    ):
+        print(f"{key}: {summary[key]}", file=out)
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -331,6 +428,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             _run_metrics(args, out)
         elif args.command == "chaos":
             _run_chaos(args, out)
+        elif args.command == "fleet":
+            _run_fleet(args, out)
         else:  # pragma: no cover - argparse enforces choices
             raise SystemExit(f"unknown command {args.command!r}")
     except Exception as exc:

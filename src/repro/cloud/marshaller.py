@@ -18,6 +18,7 @@ import numpy as np
 
 from ..conformal.classify import ConformalClassifier
 from ..conformal.regress import ConformalRegressor
+from ..core.batched import BatchedInference
 from ..core.inference import extract_interval_segments, extract_intervals
 from ..core.model import EventHit
 from ..features.extractors import FeatureMatrix
@@ -217,6 +218,13 @@ class StreamMarshaller:
     segment_min_gap:
         Runs closer than this many offsets are merged (filters score dips
         inside one occurrence).
+    inference:
+        Optional :class:`~repro.core.batched.BatchedInference` engine to
+        run the per-horizon forward pass through.  Defaults to a fresh
+        engine over ``model``; sharing one engine across a fleet of
+        marshallers is what makes batched multi-stream serving bitwise
+        equivalent to sequential runs (the engine is batch-size
+        invariant).
     """
 
     def __init__(
@@ -232,6 +240,7 @@ class StreamMarshaller:
         tau2: float = 0.5,
         segmented: bool = False,
         segment_min_gap: int = 5,
+        inference: Optional[BatchedInference] = None,
     ):
         if len(event_types) != model.num_events:
             raise ValueError(
@@ -259,48 +268,80 @@ class StreamMarshaller:
         self.tau2 = tau2
         self.segmented = segmented
         self.segment_min_gap = segment_min_gap
+        self.inference = inference if inference is not None else BatchedInference(model)
         self.horizon = model.config.horizon
 
     # ------------------------------------------------------------------
     def _decide(self, output) -> tuple:
-        """(exists (1,K) bool, segments[k] = [(start, end), ...]) for one
-        horizon.  In span mode each event gets at most one segment."""
+        """(exists (B,K) bool, segments[b][k] = [(start, end), ...]).
+
+        Batch-native: every underlying operation (conformal p-values,
+        interval extraction, C-REGRESS widening) is row-independent, so
+        row ``b``'s segments are exactly what a single-row call would
+        return — the fleet marshaller decides all lanes in this one call.
+        In span mode each event gets at most one segment per row.
+        """
         if self.classifier is not None:
             exists = self.classifier.predict(output, self.confidence)
         else:
             exists = output.scores >= self.tau1
+        batch = exists.shape[0]
 
         if self.segmented:
             raw = extract_interval_segments(
                 output.frame_scores, self.tau2, min_gap=self.segment_min_gap
-            )[0]
+            )
             if self.regressor is not None:
                 quantiles = self.regressor.quantiles(self.alpha)
-                widened = []
-                for k, runs in enumerate(raw):
-                    q_start, q_end = int(quantiles[k, 0]), int(quantiles[k, 1])
-                    adjusted = [
-                        (max(1, s - q_start), min(self.horizon, e + q_end))
-                        for s, e in runs
-                    ]
-                    widened.append(_merge_runs(adjusted))
-                raw = widened
-            segments = [runs if exists[0, k] else [] for k, runs in enumerate(raw)]
+                widened_rows = []
+                for row in raw:
+                    widened = []
+                    for k, runs in enumerate(row):
+                        q_start, q_end = int(quantiles[k, 0]), int(quantiles[k, 1])
+                        adjusted = [
+                            (max(1, s - q_start), min(self.horizon, e + q_end))
+                            for s, e in runs
+                        ]
+                        widened.append(_merge_runs(adjusted))
+                    widened_rows.append(widened)
+                raw = widened_rows
+            segments = [
+                [runs if exists[b, k] else [] for k, runs in enumerate(raw[b])]
+                for b in range(batch)
+            ]
             if self.regressor is not None:
-                inc("marshal.widenings", sum(len(runs) for runs in segments))
+                inc(
+                    "marshal.widenings",
+                    sum(len(runs) for row in segments for runs in row),
+                )
             return exists, segments
 
         if self.regressor is not None:
             inc("marshal.widenings", int(exists.sum()))
-            batch = self.regressor.predict(output, exists, self.alpha)
-            starts, ends = batch.starts, batch.ends
+            predictions = self.regressor.predict(output, exists, self.alpha)
+            starts, ends = predictions.starts, predictions.ends
         else:
             starts, ends = extract_intervals(output.frame_scores, self.tau2)
         segments = [
-            [(int(starts[0, k]), int(ends[0, k]))] if exists[0, k] else []
-            for k in range(exists.shape[1])
+            [
+                [(int(starts[b, k]), int(ends[b, k]))] if exists[b, k] else []
+                for k in range(exists.shape[1])
+            ]
+            for b in range(batch)
         ]
         return exists, segments
+
+    def _horizon_truth_frames(
+        self, stream: VideoStream, frame: int, event_type: EventType
+    ) -> set:
+        """Absolute ground-truth frames of ``event_type`` in the horizon
+        starting at ``frame`` (recall accounting; shared with the fleet)."""
+        truth_frames: set = set()
+        for ev in stream.schedule.events_in_horizon(event_type, frame, self.horizon):
+            truth_frames.update(
+                range(frame + ev.start_offset, frame + ev.end_offset + 1)
+            )
+        return truth_frames
 
     # ------------------------------------------------------------------
     # Degraded-mode bookkeeping
@@ -453,27 +494,19 @@ class StreamMarshaller:
                             pending, stream, service, report, max_deferrals
                         )
                     window = self.pipeline.covariates_at(features, frame)
-                    output = self.model.predict(window[None])
+                    output = self.inference.predict(window[None])
                     exists, segments = self._decide(output)
 
                     for k, event_type in enumerate(self.event_types):
                         # Ground truth within this horizon, for recall
                         # accounting.
-                        horizon_truth = stream.schedule.events_in_horizon(
-                            event_type, frame, horizon
+                        truth_frames = self._horizon_truth_frames(
+                            stream, frame, event_type
                         )
-                        truth_frames = set()
-                        for ev in horizon_truth:
-                            truth_frames.update(
-                                range(
-                                    frame + ev.start_offset,
-                                    frame + ev.end_offset + 1,
-                                )
-                            )
                         report.true_event_frames += len(truth_frames)
 
                         covered = set()
-                        for start_offset, end_offset in segments[k]:
+                        for start_offset, end_offset in segments[0][k]:
                             segment = stream.segment(
                                 frame + start_offset, frame + end_offset
                             )

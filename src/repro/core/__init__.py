@@ -6,6 +6,7 @@
 * :func:`threshold_predictions` — Eq. 4–6 inference (the EHO rule).
 """
 
+from .batched import BatchedInference, rowstable_matmul
 from .config import EventHitConfig
 from .model import EventHit, EventHitOutput
 from .inference import (
@@ -20,6 +21,8 @@ from .trainer import Trainer, TrainingHistory, train_eventhit
 from .checkpoint import load_checkpoint, save_checkpoint
 
 __all__ = [
+    "BatchedInference",
+    "rowstable_matmul",
     "EventHitConfig",
     "EventHit",
     "EventHitOutput",

@@ -1,0 +1,207 @@
+"""Batched, batch-size-invariant EventHit inference (the fleet hot path).
+
+Serving many streams means running the EventHit forward pass over a
+stacked ``(num_streams, window, features)`` tensor in *one* numpy call per
+horizon instead of one call per stream — the batched/stateful-inference
+idea NoScope and Continual Inference apply to per-frame models, applied
+here to the marshalling predictor.
+
+Correctness guarantee
+---------------------
+``BatchedInference.predict`` is **batch-size invariant**: for any stacking
+``X`` and any row ``i``,
+
+    ``predict(X).scores[i] == predict(X[i:i+1]).scores[0]``  (bitwise)
+
+and likewise for ``frame_scores``.  BLAS-backed ``@`` does *not* satisfy
+this (GEMV vs. GEMM kernels change the per-row accumulation order by up to
+an ulp, which can flip a τ-threshold decision), so every affine map here
+goes through :func:`rowstable_matmul` — an einsum contraction whose
+per-row accumulation order depends only on the weight shape, never on the
+batch size.  The guarantee is what makes a fleet run byte-identical to N
+sequential runs; it is pinned by ``tests/core/test_batched.py``.
+
+The engine reads the model's parameters live (no copies), so a retrained
+or fine-tuned model is served without rebuilding the engine.  Inference is
+always in eval semantics (dropout off) and never touches the autograd
+graph, which also makes the single-stream path measurably faster than
+``EventHit.predict``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn import GRU, LSTM, MLP, Dropout, Linear, Sequential
+from ..nn.layers import ReLU, Sigmoid, Tanh
+from .model import EventHit, EventHitOutput
+
+__all__ = ["BatchedInference", "rowstable_matmul"]
+
+
+def rowstable_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``x @ weight`` with a per-row accumulation order that does not
+    depend on the number of rows.
+
+    ``np.einsum`` (non-optimized) reduces the contraction index with one
+    fixed-order loop per output element, so row ``i`` of the product is
+    bitwise identical whether ``x`` carries 1 row or 1000.  BLAS GEMM does
+    not make that promise — it picks different kernels (and therefore
+    different partial-sum orders) for different batch shapes.
+    """
+    return np.einsum("bi,io->bo", x, weight)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Same formula as Tensor.sigmoid, for bitwise agreement of the
+    # elementwise path.
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    # Mirrors Tensor.relu (x * mask), not np.maximum, so -0.0 handling and
+    # rounding match the training-side implementation exactly.
+    return x * (x > 0).astype(np.float64)
+
+
+class BatchedInference:
+    """Run EventHit forward passes over stacked per-stream windows.
+
+    Parameters
+    ----------
+    model:
+        A (trained) :class:`EventHit`.  All supported encoder kinds
+        (``lstm``, ``gru``, ``mean``) are handled.
+
+    The engine is a pure-numpy re-evaluation of the model graph: it walks
+    the same ``Sequential``/``MLP`` structure the model holds, reading each
+    layer's parameters in place, with every matmul routed through
+    :func:`rowstable_matmul`.  Outputs therefore agree with
+    ``EventHit.predict`` to floating-point round-off (~1 ulp) and agree
+    with *themselves* bitwise across any batch split.
+    """
+
+    def __init__(self, model: EventHit):
+        if not isinstance(model, EventHit):
+            raise TypeError("BatchedInference serves EventHit models")
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # Layer evaluators (eval-mode, raw numpy)
+    # ------------------------------------------------------------------
+    def _eval_layer(self, layer, x: np.ndarray) -> np.ndarray:
+        if isinstance(layer, Linear):
+            out = rowstable_matmul(x, layer.weight.data)
+            if layer.bias is not None:
+                out = out + layer.bias.data
+            return out
+        if isinstance(layer, Tanh):
+            return np.tanh(x)
+        if isinstance(layer, Sigmoid):
+            return _sigmoid(x)
+        if isinstance(layer, ReLU):
+            return _relu(x)
+        if isinstance(layer, Dropout):
+            return x  # inference is always eval-mode
+        if isinstance(layer, MLP):
+            return self._eval_sequential(layer.net, x)
+        if isinstance(layer, Sequential):
+            return self._eval_sequential(layer, x)
+        raise TypeError(
+            f"BatchedInference cannot evaluate layer {type(layer).__name__}"
+        )
+
+    def _eval_sequential(self, seq: Sequential, x: np.ndarray) -> np.ndarray:
+        for layer in seq._layers:
+            x = self._eval_layer(layer, x)
+        return x
+
+    def _eval_lstm(self, encoder: LSTM, x: np.ndarray) -> np.ndarray:
+        cell = encoder.cell
+        hs = cell.hidden_size
+        weight_x = cell.weight_x.data
+        weight_h = cell.weight_h.data
+        bias = cell.bias.data
+        batch = x.shape[0]
+        h = np.zeros((batch, hs))
+        c = np.zeros((batch, hs))
+        for t in range(x.shape[1]):
+            gates = (
+                rowstable_matmul(x[:, t, :], weight_x)
+                + rowstable_matmul(h, weight_h)
+                + bias
+            )
+            i = _sigmoid(gates[:, 0 * hs : 1 * hs])
+            f = _sigmoid(gates[:, 1 * hs : 2 * hs])
+            g = np.tanh(gates[:, 2 * hs : 3 * hs])
+            o = _sigmoid(gates[:, 3 * hs : 4 * hs])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+        return h
+
+    def _eval_gru(self, encoder: GRU, x: np.ndarray) -> np.ndarray:
+        cell = encoder.cell
+        hs = cell.hidden_size
+        h = np.zeros((x.shape[0], hs))
+        for t in range(x.shape[1]):
+            x_t = x[:, t, :]
+            gates = (
+                rowstable_matmul(x_t, cell.weight_x_gates.data)
+                + rowstable_matmul(h, cell.weight_h_gates.data)
+                + cell.bias_gates.data
+            )
+            r = _sigmoid(gates[:, 0:hs])
+            z = _sigmoid(gates[:, hs : 2 * hs])
+            candidate = np.tanh(
+                rowstable_matmul(x_t, cell.weight_x_cand.data)
+                + rowstable_matmul(r * h, cell.weight_h_cand.data)
+                + cell.bias_cand.data
+            )
+            h = (1.0 - z) * candidate + z * h
+        return h
+
+    # ------------------------------------------------------------------
+    def predict(self, covariates: np.ndarray) -> EventHitOutput:
+        """One fused forward pass over stacked windows.
+
+        Parameters
+        ----------
+        covariates:
+            ``(B, M, D)`` array — one collection window per stream.
+
+        Returns
+        -------
+        :class:`EventHitOutput` with ``(B, K)`` scores and ``(B, K, H)``
+        frame scores.  Row ``i`` is bitwise identical to the row a
+        single-window call would produce, so chunking a fleet across
+        several calls can never change a marshalling decision.
+        """
+        model = self.model
+        x = np.asarray(covariates, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, M, D) covariates, got {x.shape}")
+        if x.shape[2] != model.num_features:
+            raise ValueError(
+                f"expected D={model.num_features} channels, got {x.shape[2]}"
+            )
+        if x.shape[0] == 0 or x.shape[1] == 0:
+            raise ValueError("empty covariate batch")
+
+        last_vector = x[:, -1, :]
+        if model.encoder_kind == "lstm":
+            encoded = self._eval_lstm(model.encoder, x)
+        elif model.encoder_kind == "gru":
+            encoded = self._eval_gru(model.encoder, x)
+        else:  # mean encoder: Tensor.mean == sum * (1/count)
+            pooled = x.sum(axis=1) * (1.0 / x.shape[1])
+            encoded = self._eval_layer(model.encoder, pooled)
+
+        z = self._eval_sequential(model.shared, encoded)
+        head_input = np.concatenate([z, last_vector], axis=1)
+        outputs: List[np.ndarray] = [
+            self._eval_layer(head, head_input) for head in model.heads()
+        ]
+        theta = np.stack(outputs, axis=1)  # (B, K, H+1)
+        return EventHitOutput(theta[:, :, 0], theta[:, :, 1:])

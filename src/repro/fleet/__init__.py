@@ -1,0 +1,38 @@
+"""Multi-stream batched marshalling (the fleet layer).
+
+Serve N streams with one decision engine and one CI account:
+:class:`FleetMarshaller` stacks all lanes' collection windows into one
+batch-size-invariant forward pass per tick, pools their relay segments,
+and flushes them through a pluggable :class:`FleetScheduler` under a
+global per-tick frame budget — byte-identical per-stream reports to N
+sequential runs under round-robin scheduling on fault-free
+infrastructure.
+"""
+
+from .marshaller import FleetLane, FleetMarshaller, FleetReport
+from .scheduler import (
+    SCHEDULERS,
+    CostAwareScheduler,
+    DeadlineFirstScheduler,
+    FleetScheduler,
+    RelayRequest,
+    RoundRobinScheduler,
+    SchedulerContext,
+    make_scheduler,
+)
+from .service import FleetCIService
+
+__all__ = [
+    "FleetLane",
+    "FleetMarshaller",
+    "FleetReport",
+    "FleetCIService",
+    "FleetScheduler",
+    "RoundRobinScheduler",
+    "DeadlineFirstScheduler",
+    "CostAwareScheduler",
+    "RelayRequest",
+    "SchedulerContext",
+    "SCHEDULERS",
+    "make_scheduler",
+]

@@ -1,0 +1,492 @@
+"""Marshal a fleet of streams through one shared CI account.
+
+The sequential :class:`~repro.cloud.marshaller.StreamMarshaller` serves one
+stream with a private service.  Deployments watch *many* cameras, and the
+two expensive resources — the EventHit forward pass and the CI account —
+are both batchable:
+
+* **Inference** — every tick, all active lanes' collection windows are
+  stacked into one ``(num_streams, window, features)`` tensor and pushed
+  through a single :class:`~repro.core.batched.BatchedInference` call.
+  Because the engine is batch-size invariant, each lane's scores are
+  bitwise what a solo run would compute.
+* **Relaying** — the segments every lane wants relayed enter a shared
+  pool; a pluggable :class:`~repro.fleet.scheduler.FleetScheduler` orders
+  the pool and the fleet flushes it to the shared CI under a global
+  per-tick frame budget.  What the budget cuts off rolls into the next
+  tick's pool.
+
+Equivalence contract
+--------------------
+With the ``round-robin`` scheduler, no budget, and a fault-free service,
+``FleetMarshaller.run`` produces **byte-identical** per-stream
+:class:`~repro.cloud.marshaller.MarshallingReport` dicts to N sequential
+``StreamMarshaller.run`` calls over private services: round-robin keeps
+each lane's relay order FIFO, and per-lane costs are attributed by
+replaying the pricing model against a per-lane *shadow ledger* (so a
+lane's ``total_cost`` is what its private account would have billed, even
+though the shared ledger pools the frames).  ``tests/fleet`` pins this.
+
+With a budget or a different scheduler, the fleet trades that exact
+equivalence for throughput/QoS control: relays may land ticks later (the
+CI clock differs), but no relay is ever dropped by scheduling — only the
+failure policy can drop work, exactly as in the sequential loop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cloud.faults import CIError
+from ..cloud.marshaller import FAILURE_POLICIES, MarshallingReport, StreamMarshaller
+from ..cloud.service import UsageLedger
+from ..features.extractors import FeatureMatrix
+from ..obs import inc, log_info, observe, set_gauge, span
+from ..video.stream import VideoStream
+from .scheduler import (
+    FleetScheduler,
+    RelayRequest,
+    RoundRobinScheduler,
+    SchedulerContext,
+    make_scheduler,
+)
+
+__all__ = ["FleetLane", "FleetReport", "FleetMarshaller"]
+
+
+@dataclass
+class FleetLane:
+    """One stream's inputs to a fleet run."""
+
+    stream: VideoStream
+    features: FeatureMatrix
+
+    @property
+    def name(self) -> str:
+        return self.stream.name
+
+
+class _LaneState:
+    """Mutable per-lane run state (cursor, report, shadow ledger)."""
+
+    __slots__ = ("lane", "report", "shadow", "frame", "done")
+
+    def __init__(self, lane: FleetLane, start_frame: int):
+        self.lane = lane
+        self.report = MarshallingReport()
+        # Private replay of this lane's billing, for cost attribution: the
+        # shared ledger charges marginal cost against the *pooled* frame
+        # count; the shadow recomputes it against the lane-local count,
+        # i.e. what the lane's own account would have paid.
+        self.shadow = UsageLedger()
+        self.frame = start_frame
+        self.done = False
+
+    @property
+    def name(self) -> str:
+        return self.lane.name
+
+    @property
+    def stream(self) -> VideoStream:
+        return self.lane.stream
+
+
+@dataclass
+class FleetReport:
+    """Outcome of marshalling a fleet: per-stream reports plus fleet stats.
+
+    ``per_stream`` maps lane name to that stream's
+    :class:`~repro.cloud.marshaller.MarshallingReport`, with ``total_cost``
+    attributed via the lane's shadow ledger.  ``shared_cost`` is what the
+    pooled account actually billed for the run; under non-linear (tiered)
+    pricing it is at most the sum of attributed costs — the pooling
+    discount.
+    """
+
+    per_stream: "OrderedDict[str, MarshallingReport]" = field(
+        default_factory=OrderedDict
+    )
+    scheduler: str = RoundRobinScheduler.name
+    ticks: int = 0
+    max_batch_size: int = 0
+    relays_flushed: int = 0
+    relays_postponed: int = 0
+    shared_cost: float = 0.0
+    shared_frames: int = 0
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.per_stream)
+
+    @property
+    def fleet(self) -> MarshallingReport:
+        """Fleet-level rollup (fresh aggregate; inputs untouched)."""
+        return MarshallingReport.merged(list(self.per_stream.values()))
+
+    @property
+    def attributed_cost(self) -> float:
+        """Sum of per-lane attributed costs (== ``shared_cost`` under flat
+        pricing up to float association; ≥ under tiered pricing)."""
+        return sum(r.total_cost for r in self.per_stream.values())
+
+    def to_dict(self, include_detections: bool = False) -> Dict[str, object]:
+        return {
+            "num_streams": self.num_streams,
+            "scheduler": self.scheduler,
+            "ticks": self.ticks,
+            "max_batch_size": self.max_batch_size,
+            "relays_flushed": self.relays_flushed,
+            "relays_postponed": self.relays_postponed,
+            "shared_cost": self.shared_cost,
+            "shared_frames": self.shared_frames,
+            "attributed_cost": self.attributed_cost,
+            "fleet": self.fleet.to_dict(include_detections=include_detections),
+            "per_stream": {
+                name: report.to_dict(include_detections=include_detections)
+                for name, report in self.per_stream.items()
+            },
+        }
+
+
+class FleetMarshaller:
+    """Multiplex N streams over one decision engine and one CI account.
+
+    Parameters
+    ----------
+    marshaller:
+        The shared decision engine: its model, conformal layers,
+        thresholds, and pipeline apply to every lane, and its
+        ``inference`` engine runs the stacked forward pass.
+    scheduler:
+        A :class:`~repro.fleet.scheduler.FleetScheduler` instance or a
+        registry name (``"round-robin"``, ``"deadline"``,
+        ``"cost-aware"``).
+    tick_budget_frames:
+        Global per-tick relay budget.  Each tick flushes scheduled
+        requests until the budget is spent; the first request of a tick
+        always flushes (so every tick makes progress and the run
+        terminates), and the remainder is postponed to the next tick.
+        ``None`` (default) flushes everything every tick.
+    """
+
+    def __init__(
+        self,
+        marshaller: StreamMarshaller,
+        scheduler: "FleetScheduler | str" = RoundRobinScheduler.name,
+        tick_budget_frames: Optional[int] = None,
+    ):
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler)
+        if tick_budget_frames is not None and tick_budget_frames < 1:
+            raise ValueError("tick_budget_frames must be >= 1")
+        self.marshaller = marshaller
+        self.scheduler = scheduler
+        self.tick_budget_frames = tick_budget_frames
+
+    # ------------------------------------------------------------------
+    # Wiring / validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _activation_target(service):
+        """The object in the service stack that owns ``activate``.
+
+        Walks the wrapper chain (``ResilientCIClient.service``,
+        ``FaultInjector.service``, …) down to the
+        :class:`~repro.fleet.service.FleetCIService`.
+        """
+        target = service
+        while target is not None:
+            if callable(getattr(target, "activate", None)):
+                return target
+            target = getattr(target, "service", None)
+        raise TypeError(
+            "fleet service stack has no activate(); wrap streams in a "
+            "FleetCIService"
+        )
+
+    def _make_states(self, lanes, fleet_service, start_frame) -> List[_LaneState]:
+        pipeline = self.marshaller.pipeline
+        start = start_frame if start_frame is not None else pipeline.min_frame()
+        if start < pipeline.min_frame():
+            raise ValueError("start_frame leaves no room for the collection window")
+        states: List[_LaneState] = []
+        names = set()
+        fps = None
+        for lane in lanes:
+            if lane.features.num_frames != lane.stream.length:
+                raise ValueError(
+                    f"lane {lane.name!r}: feature matrix length != stream length"
+                )
+            if not fleet_service.has_stream(lane.stream):
+                raise ValueError(
+                    f"lane {lane.name!r} is not registered with the fleet service"
+                )
+            if lane.name in names:
+                raise ValueError(f"duplicate lane name {lane.name!r}")
+            names.add(lane.name)
+            if fps is None:
+                fps = lane.stream.fps
+            elif lane.stream.fps != fps:
+                raise ValueError(
+                    "fleet lanes must share one fps (the tick clock is global)"
+                )
+            states.append(_LaneState(lane, start))
+        if not states:
+            raise ValueError("a fleet run needs at least one lane")
+        return states
+
+    # ------------------------------------------------------------------
+    # Tick machinery
+    # ------------------------------------------------------------------
+    def _lane_active(self, state: _LaneState, max_horizons: Optional[int]) -> bool:
+        if state.frame + self.marshaller.horizon >= state.stream.length:
+            return False
+        if (
+            max_horizons is not None
+            and state.report.horizons_evaluated >= max_horizons
+        ):
+            return False
+        return True
+
+    def _decide_tick(
+        self, active: List[_LaneState], tick: int
+    ) -> List[RelayRequest]:
+        """One stacked forward pass; returns every lane's relay requests."""
+        m = self.marshaller
+        windows = np.stack(
+            [
+                m.pipeline.covariates_at(state.lane.features, state.frame)
+                for state in active
+            ]
+        )
+        output = m.inference.predict(windows)
+        observe("fleet.batch_size", len(active))
+        # One batch-native decision pass for every lane: row i of the
+        # batched output (and its segments) is bitwise the lane's solo
+        # prediction, so this reproduces the sequential decisions.
+        _, segments_rows = m._decide(output)
+        requests: List[RelayRequest] = []
+        for i, state in enumerate(active):
+            segments = segments_rows[i]
+            for k, event_type in enumerate(m.event_types):
+                truth_frames = m._horizon_truth_frames(
+                    state.stream, state.frame, event_type
+                )
+                state.report.true_event_frames += len(truth_frames)
+                for start_offset, end_offset in segments[k]:
+                    segment = state.stream.segment(
+                        state.frame + start_offset, state.frame + end_offset
+                    )
+                    requests.append(
+                        RelayRequest(
+                            lane=state.name,
+                            segment=segment,
+                            event_type=event_type,
+                            tick=tick,
+                        )
+                    )
+            state.report.horizons_evaluated += 1
+            state.report.frames_covered += m.horizon
+            state.frame += m.horizon
+        return requests
+
+    def _schedule(
+        self, requests: List[RelayRequest], states, tick: int
+    ) -> List[RelayRequest]:
+        if not requests:
+            return []
+        context = SchedulerContext(
+            tick=tick,
+            budget_frames=self.tick_budget_frames,
+            lane_cost={s.name: s.shadow.total_cost for s in states},
+            lane_frames={s.name: s.shadow.frames_processed for s in states},
+        )
+        ordered = self.scheduler.order(list(requests), context)
+        if sorted(map(id, ordered)) != sorted(map(id, requests)):
+            raise RuntimeError(
+                f"scheduler {self.scheduler.name!r} must return a "
+                "permutation of the request pool"
+            )
+        return ordered
+
+    def _flush(
+        self,
+        request: RelayRequest,
+        state: _LaneState,
+        service,
+        activate,
+        failure_policy: str,
+        max_deferrals: int,
+        backlog: List[RelayRequest],
+    ) -> None:
+        """Relay one scheduled segment to the shared CI, attributing its
+        billing to the lane's shadow ledger."""
+        m = self.marshaller
+        activate(state.stream)
+        ledger = service.ledger
+        frames_before = ledger.frames_processed
+        requests_before = ledger.requests
+        stats = getattr(service, "stats", None)
+        retries_before = getattr(stats, "retries", 0)
+        try:
+            try:
+                detections = service.detect(request.segment, request.event_type)
+            except CIError as error:
+                if failure_policy == "raise":
+                    raise
+                if failure_policy == "skip" or request.deferrals >= max_deferrals:
+                    m._fail_segment(
+                        state.stream,
+                        request.segment,
+                        request.event_type,
+                        state.report,
+                        error,
+                    )
+                else:
+                    request.deferrals += 1
+                    m._defer_segment(request, backlog, state.report)
+            else:
+                m._credit_success(
+                    state.stream,
+                    request.segment,
+                    request.event_type,
+                    detections,
+                    state.report,
+                )
+                inc("fleet.sched.flushed")
+        finally:
+            state.report.retries += getattr(stats, "retries", 0) - retries_before
+            # Replay whatever the shared ledger billed (0 under a rejected
+            # call, possibly >1 request under retry wrappers) against the
+            # lane-local frame count.
+            billed_frames = ledger.frames_processed - frames_before
+            billed_requests = ledger.requests - requests_before
+            if billed_frames > 0 or billed_requests > 0:
+                pricing = self._pricing(service)
+                cost = pricing.cost(
+                    state.shadow.frames_processed + billed_frames
+                ) - pricing.cost(state.shadow.frames_processed)
+                state.shadow.charge(
+                    request.event_type.name, billed_frames, cost
+                )
+
+    @staticmethod
+    def _pricing(service):
+        return service.pricing
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        lanes: Sequence[FleetLane],
+        service,
+        start_frame: Optional[int] = None,
+        max_horizons: Optional[int] = None,
+        failure_policy: str = "raise",
+        max_deferrals: int = 8,
+    ) -> FleetReport:
+        """Marshal every lane tick by tick through the shared ``service``.
+
+        A tick is one horizon of fleet time: batch-predict all active
+        lanes, pool their relay segments with any backlog, schedule, flush
+        under the budget, advance the service clock by one horizon.  After
+        the last lane finishes its horizons, drain ticks flush the
+        remaining backlog (budget still applies).
+
+        ``service`` may be a :class:`~repro.fleet.service.FleetCIService`
+        or any wrapper stack around one (fault injector, resilient
+        client); ``failure_policy`` and ``max_deferrals`` behave exactly
+        as in :meth:`StreamMarshaller.run`, per lane.
+        """
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        if max_deferrals < 1:
+            raise ValueError("max_deferrals must be >= 1")
+        m = self.marshaller
+        fleet_service = self._activation_target(service)
+        activate = fleet_service.activate
+        states = self._make_states(list(lanes), fleet_service, start_frame)
+        by_name = {state.name: state for state in states}
+        fps = states[0].stream.fps
+
+        report = FleetReport(scheduler=self.scheduler.name)
+        cost_before = service.ledger.total_cost
+        frames_before = service.ledger.frames_processed
+        backlog: List[RelayRequest] = []
+        tick = 0
+        set_gauge("fleet.streams", len(states))
+        with span(
+            "fleet.run", streams=len(states), scheduler=self.scheduler.name
+        ):
+            while True:
+                active = [s for s in states if self._lane_active(s, max_horizons)]
+                if not active and not backlog:
+                    break
+                with span(
+                    "fleet.tick",
+                    tick=tick,
+                    active=len(active),
+                    backlog=len(backlog),
+                ):
+                    pool = backlog
+                    backlog = []
+                    if active:
+                        report.max_batch_size = max(
+                            report.max_batch_size, len(active)
+                        )
+                        pool = pool + self._decide_tick(active, tick)
+                    ordered = self._schedule(pool, states, tick)
+                    budget = self.tick_budget_frames
+                    spent = 0
+                    for index, request in enumerate(ordered):
+                        if budget is not None and spent >= budget and index > 0:
+                            postponed = ordered[index:]
+                            backlog.extend(postponed)
+                            report.relays_postponed += len(postponed)
+                            inc("fleet.sched.postponed", len(postponed))
+                            break
+                        self._flush(
+                            request,
+                            by_name[request.lane],
+                            service,
+                            activate,
+                            failure_policy,
+                            max_deferrals,
+                            backlog,
+                        )
+                        report.relays_flushed += 1
+                        spent += request.frames
+                    m._advance_service_clock(service, m.horizon / fps)
+                report.ticks += 1
+                tick += 1
+
+        for state in states:
+            state.report.total_cost = state.shadow.total_cost
+            report.per_stream[state.name] = state.report
+        report.shared_cost = service.ledger.total_cost - cost_before
+        report.shared_frames = service.ledger.frames_processed - frames_before
+
+        fleet = report.fleet
+        inc("marshal.horizons", fleet.horizons_evaluated)
+        inc("marshal.frames_covered", fleet.frames_covered)
+        inc("marshal.frames_relayed", fleet.frames_relayed)
+        inc("marshal.cost", report.shared_cost)
+        inc("stage.frames_covered", fleet.frames_covered)
+        inc("stage.frames_featurized", fleet.frames_covered)
+        inc("stage.predictions", fleet.horizons_evaluated)
+        inc("stage.frames_relayed", fleet.frames_relayed)
+        log_info(
+            "fleet.run_complete",
+            streams=len(states),
+            ticks=report.ticks,
+            flushed=report.relays_flushed,
+            postponed=report.relays_postponed,
+            cost=report.shared_cost,
+        )
+        return report

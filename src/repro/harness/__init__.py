@@ -10,6 +10,13 @@ from .chaos import (
     chaos_marshaller,
     run_chaos_cell,
 )
+from .fleet import (
+    build_fleet_lanes,
+    fleet_marshaller,
+    fleet_throughput_sweep,
+    run_fleet,
+    sequential_fleet_baseline,
+)
 from .sweeps import (
     DEFAULT_ALPHAS,
     DEFAULT_CONFIDENCES,
@@ -47,6 +54,11 @@ __all__ = [
     "chaos_experiment",
     "chaos_marshaller",
     "run_chaos_cell",
+    "build_fleet_lanes",
+    "fleet_marshaller",
+    "run_fleet",
+    "sequential_fleet_baseline",
+    "fleet_throughput_sweep",
     "min_spl_at_rec",
     "pareto_frontier",
     "sweep_window_size",

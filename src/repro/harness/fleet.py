@@ -1,0 +1,189 @@
+"""Fleet harness: build multi-stream deployments and measure scaling.
+
+Glue between one trained :class:`~repro.harness.experiments.Experiment`
+and the fleet layer: generate N exchangeable streams of the task's
+dataset process (fresh seeds of the same spec, like the train/cal/test
+splits), extract their covariates, and drive a
+:class:`~repro.fleet.FleetMarshaller` over them — plus the throughput
+sweep behind the ``fleet`` CLI subcommand and the fleet benchmark, which
+reports frames/s versus fleet size for batched-fleet and sequential
+serving.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..cloud import CloudInferenceService, StreamMarshaller
+from ..features import FeatureExtractor
+from ..fleet import FleetCIService, FleetLane, FleetMarshaller, FleetReport
+from ..obs import log_info, span
+from .chaos import chaos_marshaller
+from .experiments import Experiment
+
+__all__ = [
+    "build_fleet_lanes",
+    "fleet_marshaller",
+    "run_fleet",
+    "sequential_fleet_baseline",
+    "fleet_throughput_sweep",
+]
+
+#: Seed offset separating fleet streams from the builder's train/cal/test
+#: seeds (which use seed*101 + small offsets).
+_FLEET_SEED_BASE = 7000
+
+
+def build_fleet_lanes(
+    experiment: Experiment,
+    num_streams: int,
+    seed: int = 0,
+) -> List[FleetLane]:
+    """N exchangeable camera lanes for the experiment's dataset process.
+
+    Each lane is a fresh seed of the task's :class:`DatasetSpec` — same
+    arrival/duration processes, different realisations — with covariates
+    extracted by the standard detector-simulation pipeline.  Lane 0 always
+    reuses the experiment's own test stream, so a size-1 fleet is exactly
+    the familiar single-stream deployment.
+    """
+    if num_streams < 1:
+        raise ValueError("num_streams must be >= 1")
+    from ..video import make_stream
+
+    spec = experiment.data.spec
+    event_types = experiment.data.event_types
+    extractor = FeatureExtractor()
+    lanes = [
+        FleetLane(
+            stream=experiment.data.test_stream,
+            features=experiment.data.test_features,
+        )
+    ]
+    for i in range(1, num_streams):
+        stream = make_stream(
+            spec,
+            seed=seed * 101 + _FLEET_SEED_BASE + i,
+            name=f"{spec.name}-fleet{i}",
+        )
+        lanes.append(
+            FleetLane(stream=stream, features=extractor.extract(stream, event_types))
+        )
+    return lanes
+
+
+def fleet_marshaller(
+    experiment: Experiment,
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+    scheduler: str = "round-robin",
+    tick_budget_frames: Optional[int] = None,
+) -> FleetMarshaller:
+    """The deployment-shaped fleet engine (EHCR configuration)."""
+    return FleetMarshaller(
+        chaos_marshaller(experiment, confidence=confidence, alpha=alpha),
+        scheduler=scheduler,
+        tick_budget_frames=tick_budget_frames,
+    )
+
+
+def run_fleet(
+    fleet: FleetMarshaller,
+    lanes: Sequence[FleetLane],
+    max_horizons: Optional[int] = None,
+    failure_policy: str = "raise",
+) -> FleetReport:
+    """One fleet run over a fresh shared service (convenience wrapper)."""
+    service = FleetCIService([lane.stream for lane in lanes])
+    return fleet.run(
+        lanes,
+        service,
+        max_horizons=max_horizons,
+        failure_policy=failure_policy,
+    )
+
+
+def sequential_fleet_baseline(
+    marshaller: StreamMarshaller,
+    lanes: Sequence[FleetLane],
+    max_horizons: Optional[int] = None,
+) -> Dict[str, object]:
+    """Serve the same lanes one at a time with private services.
+
+    The N-sequential-runs baseline the fleet's equivalence and speedup
+    claims are measured against.
+    """
+    reports = {}
+    for lane in lanes:
+        service = CloudInferenceService(lane.stream)
+        reports[lane.name] = marshaller.run(
+            lane.stream, lane.features, service, max_horizons=max_horizons
+        )
+    return reports
+
+
+def fleet_throughput_sweep(
+    experiment: Experiment,
+    fleet_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+    max_horizons: Optional[int] = 6,
+    scheduler: str = "round-robin",
+    tick_budget_frames: Optional[int] = None,
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Throughput (frames/s) versus fleet size, fleet versus sequential.
+
+    For each size N the same lanes are served twice — batched through one
+    :class:`FleetMarshaller` + shared service, then one at a time with
+    private services — and each pass is timed with ``perf_counter``.
+    Returns one row per size with covered-frames/s for both paths and the
+    fleet:sequential speedup, ready for ``format_table``.
+    """
+    fleet = fleet_marshaller(
+        experiment,
+        confidence=confidence,
+        alpha=alpha,
+        scheduler=scheduler,
+        tick_budget_frames=tick_budget_frames,
+    )
+    lanes_all = build_fleet_lanes(experiment, max(fleet_sizes), seed=seed)
+    rows: List[Dict[str, float]] = []
+    with span("fleet.sweep", sizes=len(list(fleet_sizes)), scheduler=scheduler):
+        for size in fleet_sizes:
+            lanes = lanes_all[:size]
+
+            start = time.perf_counter()
+            report = run_fleet(fleet, lanes, max_horizons=max_horizons)
+            fleet_seconds = time.perf_counter() - start
+            frames = report.fleet.frames_covered
+
+            start = time.perf_counter()
+            sequential_fleet_baseline(
+                fleet.marshaller, lanes, max_horizons=max_horizons
+            )
+            seq_seconds = time.perf_counter() - start
+
+            fleet_fps = frames / fleet_seconds if fleet_seconds > 0 else float("inf")
+            seq_fps = frames / seq_seconds if seq_seconds > 0 else float("inf")
+            row = {
+                "streams": size,
+                "frames": frames,
+                "fleet_s": fleet_seconds,
+                "seq_s": seq_seconds,
+                "fleet_fps": fleet_fps,
+                "seq_fps": seq_fps,
+                "speedup": fleet_fps / seq_fps if seq_fps > 0 else float("inf"),
+                "cost": report.shared_cost,
+                "REC": report.fleet.frame_recall,
+            }
+            rows.append(row)
+            log_info(
+                "fleet.sweep_point",
+                streams=size,
+                fleet_fps=round(fleet_fps, 1),
+                seq_fps=round(seq_fps, 1),
+                speedup=round(row["speedup"], 2),
+            )
+    return rows

@@ -1,0 +1,123 @@
+"""The batched engine's batch-size-invariance contract (bitwise)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedInference, EventHit, EventHitConfig, rowstable_matmul
+from repro.core.batched import _relu, _sigmoid
+
+CONFIG = EventHitConfig(
+    window_size=12,
+    horizon=40,
+    lstm_hidden=16,
+    shared_hidden=(16,),
+    head_hidden=(24,),
+    dropout=0.3,  # must be ignored at inference time
+    seed=7,
+)
+
+NUM_FEATURES = 9
+NUM_EVENTS = 3
+
+
+def make_model(encoder: str) -> EventHit:
+    # Random (untrained) parameters: invariance is a property of the
+    # forward pass, not of the weights.
+    return EventHit(NUM_FEATURES, NUM_EVENTS, config=CONFIG, encoder=encoder)
+
+
+def make_batch(batch: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(batch, CONFIG.window_size, NUM_FEATURES))
+
+
+class TestRowstableMatmul:
+    def test_matches_matmul_values(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(17, 33))
+        w = rng.normal(size=(33, 21))
+        np.testing.assert_allclose(rowstable_matmul(x, w), x @ w, rtol=1e-12)
+
+    @pytest.mark.parametrize("rows", [1, 2, 3, 7, 16, 63])
+    def test_rows_invariant_under_batching(self, rows):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(64, 48))
+        w = rng.normal(size=(48, 32))
+        full = rowstable_matmul(x, w)
+        part = rowstable_matmul(x[:rows], w)
+        assert np.array_equal(full[:rows], part)
+
+    def test_elementwise_helpers_match_tensor_formulas(self):
+        x = np.array([-3.0, -0.0, 0.0, 0.5, 4.0])
+        np.testing.assert_array_equal(_sigmoid(x), 1.0 / (1.0 + np.exp(-x)))
+        np.testing.assert_array_equal(_relu(x), x * (x > 0).astype(np.float64))
+
+
+class TestBatchInvariance:
+    """predict(X)[i] must equal predict(X[i:i+1])[0] bitwise."""
+
+    @pytest.mark.parametrize("encoder", ["lstm", "gru", "mean"])
+    def test_rows_equal_solo_rows_bitwise(self, encoder):
+        engine = BatchedInference(make_model(encoder))
+        x = make_batch(16)
+        full = engine.predict(x)
+        for i in range(x.shape[0]):
+            solo = engine.predict(x[i : i + 1])
+            assert np.array_equal(full.scores[i], solo.scores[0]), encoder
+            assert np.array_equal(
+                full.frame_scores[i], solo.frame_scores[0]
+            ), encoder
+
+    @pytest.mark.parametrize("split", [1, 3, 5, 8])
+    def test_chunking_is_safe(self, split):
+        """Any chunking of a fleet across calls yields identical rows."""
+        engine = BatchedInference(make_model("lstm"))
+        x = make_batch(16, seed=3)
+        full = engine.predict(x)
+        chunks = [engine.predict(x[i : i + split]) for i in range(0, 16, split)]
+        scores = np.concatenate([c.scores for c in chunks])
+        frame_scores = np.concatenate([c.frame_scores for c in chunks])
+        assert np.array_equal(full.scores, scores)
+        assert np.array_equal(full.frame_scores, frame_scores)
+
+    @pytest.mark.parametrize("encoder", ["lstm", "gru", "mean"])
+    def test_agrees_with_model_predict(self, encoder):
+        """Same math as EventHit.predict, to float round-off."""
+        model = make_model(encoder)
+        engine = BatchedInference(model)
+        x = make_batch(8, seed=4)
+        batched = engine.predict(x)
+        reference = model.predict(x)
+        np.testing.assert_allclose(
+            batched.scores, reference.scores, rtol=0, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            batched.frame_scores, reference.frame_scores, rtol=0, atol=1e-12
+        )
+
+    def test_output_shapes(self):
+        engine = BatchedInference(make_model("lstm"))
+        out = engine.predict(make_batch(5))
+        assert out.scores.shape == (5, NUM_EVENTS)
+        assert out.frame_scores.shape == (5, NUM_EVENTS, CONFIG.horizon)
+
+
+class TestValidation:
+    def test_rejects_non_eventhit(self):
+        with pytest.raises(TypeError):
+            BatchedInference(object())
+
+    def test_rejects_bad_rank(self):
+        engine = BatchedInference(make_model("lstm"))
+        with pytest.raises(ValueError):
+            engine.predict(np.zeros((CONFIG.window_size, NUM_FEATURES)))
+
+    def test_rejects_wrong_channels(self):
+        engine = BatchedInference(make_model("lstm"))
+        with pytest.raises(ValueError):
+            engine.predict(np.zeros((2, CONFIG.window_size, NUM_FEATURES + 1)))
+
+    def test_rejects_empty_batch(self):
+        engine = BatchedInference(make_model("lstm"))
+        with pytest.raises(ValueError):
+            engine.predict(np.zeros((0, CONFIG.window_size, NUM_FEATURES)))

@@ -1,0 +1,95 @@
+"""Property tests: fleet ≡ sequential, for arbitrary fleets and run lengths.
+
+Hypothesis drives the fleet over arbitrary lane subsets, orderings, and
+horizon counts and checks the two contracts the fleet layer advertises
+under a zero-fault plan:
+
+* every per-stream report serializes identically to its private
+  sequential ``StreamMarshaller.run``;
+* shared-account billing is conserved: the pooled ledger's cost for the
+  run equals the sum of the per-lane attributed costs (flat pricing).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudInferenceService, StreamMarshaller
+from repro.core import EventHitConfig, train_eventhit
+from repro.data import build_experiment_data
+from repro.features import CovariatePipeline, FeatureExtractor
+from repro.fleet import FleetCIService, FleetLane, FleetMarshaller
+from repro.video import make_stream, make_thumos
+
+CONFIG = EventHitConfig(
+    window_size=10,
+    horizon=200,
+    lstm_hidden=8,
+    shared_hidden=(8,),
+    head_hidden=(16,),
+    dropout=0.0,
+    learning_rate=5e-3,
+    epochs=4,
+    batch_size=32,
+    seed=0,
+)
+
+LANE_POOL = 4
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    spec = make_thumos(scale=0.06).with_events(["E7"])
+    data = build_experiment_data(spec, seed=0, max_records=100, stride=15)
+    model, _ = train_eventhit(data.train, config=CONFIG)
+    pipeline = CovariatePipeline(spec.window_size, standardizer=data.standardizer)
+    marshaller = StreamMarshaller(
+        model, data.event_types, pipeline, tau1=0.3, tau2=0.3
+    )
+    extractor = FeatureExtractor()
+    lanes = []
+    for i in range(LANE_POOL):
+        stream = make_stream(spec, seed=300 + i, name=f"prop{i}")
+        lanes.append(
+            FleetLane(
+                stream=stream, features=extractor.extract(stream, data.event_types)
+            )
+        )
+    return marshaller, lanes
+
+
+@given(
+    picks=st.permutations(range(LANE_POOL)),
+    size=st.integers(min_value=1, max_value=LANE_POOL),
+    max_horizons=st.integers(min_value=1, max_value=4),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_fleet_equals_sequential_and_conserves_cost(
+    deployment, picks, size, max_horizons
+):
+    marshaller, pool = deployment
+    lanes = [pool[i] for i in picks[:size]]
+    fleet = FleetMarshaller(marshaller, scheduler="round-robin")
+    service = FleetCIService([lane.stream for lane in lanes])
+    report = fleet.run(lanes, service, max_horizons=max_horizons)
+
+    attributed = 0.0
+    for lane in lanes:
+        private = CloudInferenceService(lane.stream)
+        expected = marshaller.run(
+            lane.stream, lane.features, private, max_horizons=max_horizons
+        )
+        got = report.per_stream[lane.name].to_dict(include_detections=True)
+        want = expected.to_dict(include_detections=True)
+        assert json.dumps(got, sort_keys=True) == json.dumps(want, sort_keys=True)
+        attributed += report.per_stream[lane.name].total_cost
+
+    assert report.shared_cost == pytest.approx(attributed)
+    assert report.shared_cost == pytest.approx(service.ledger.total_cost)

@@ -1,0 +1,105 @@
+"""Unit tests for the fleet relay schedulers."""
+
+import pytest
+
+from repro.fleet import (
+    SCHEDULERS,
+    CostAwareScheduler,
+    DeadlineFirstScheduler,
+    RelayRequest,
+    RoundRobinScheduler,
+    SchedulerContext,
+    make_scheduler,
+)
+from repro.video.events import EventType
+from repro.video.stream import StreamSegment
+
+EVENT = EventType(name="E1", duration_mean=40.0, duration_std=5.0)
+
+
+def request(lane, start, end, tick=0, deferrals=0):
+    return RelayRequest(
+        lane=lane,
+        segment=StreamSegment(start, end),
+        event_type=EVENT,
+        tick=tick,
+        deferrals=deferrals,
+    )
+
+
+def context(tick=0, budget=None, lane_cost=None):
+    return SchedulerContext(
+        tick=tick, budget_frames=budget, lane_cost=lane_cost or {}
+    )
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(SCHEDULERS) == {"round-robin", "deadline", "cost-aware"}
+
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("deadline"), DeadlineFirstScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("fifo")
+
+
+class TestRoundRobin:
+    def test_interleaves_lanes(self):
+        pool = [
+            request("a", 0, 9),
+            request("a", 20, 29),
+            request("b", 5, 14),
+            request("b", 30, 39),
+        ]
+        ordered = RoundRobinScheduler().order(pool, context(tick=0))
+        assert [r.lane for r in ordered] == ["a", "b", "a", "b"]
+
+    def test_preserves_per_lane_fifo(self):
+        pool = [request("a", s, s + 9) for s in (0, 10, 20, 30)] + [
+            request("b", s, s + 9) for s in (5, 15)
+        ]
+        ordered = RoundRobinScheduler().order(pool, context(tick=1))
+        starts_a = [r.segment.start for r in ordered if r.lane == "a"]
+        starts_b = [r.segment.start for r in ordered if r.lane == "b"]
+        assert starts_a == [0, 10, 20, 30]
+        assert starts_b == [5, 15]
+
+    def test_tick_rotates_leading_lane(self):
+        pool = [request("a", 0, 9), request("b", 5, 14)]
+        first = RoundRobinScheduler().order(list(pool), context(tick=0))
+        second = RoundRobinScheduler().order(list(pool), context(tick=1))
+        assert first[0].lane == "a"
+        assert second[0].lane == "b"
+
+    def test_empty_pool(self):
+        assert RoundRobinScheduler().order([], context()) == []
+
+
+class TestDeadlineFirst:
+    def test_orders_by_segment_start(self):
+        pool = [request("a", 50, 59), request("b", 10, 19), request("c", 30, 39)]
+        ordered = DeadlineFirstScheduler().order(pool, context())
+        assert [r.segment.start for r in ordered] == [10, 30, 50]
+
+    def test_older_request_wins_tie(self):
+        young = request("a", 10, 19, tick=4)
+        old = request("b", 10, 19, tick=1)
+        ordered = DeadlineFirstScheduler().order([young, old], context())
+        assert ordered[0] is old
+
+
+class TestCostAware:
+    def test_least_spent_lane_first(self):
+        pool = [request("rich", 0, 9), request("poor", 50, 59)]
+        ordered = CostAwareScheduler().order(
+            pool, context(lane_cost={"rich": 5.0, "poor": 0.5})
+        )
+        assert [r.lane for r in ordered] == ["poor", "rich"]
+
+    def test_cheapest_segment_first_within_lane(self):
+        big = request("a", 0, 99)
+        small = request("a", 200, 204)
+        ordered = CostAwareScheduler().order([big, small], context())
+        assert ordered[0] is small

@@ -150,6 +150,43 @@ class TestChaosCommand:
         assert "fault_rate" in text
 
 
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.task == "TA10"
+        assert args.streams == 4
+        assert args.scheduler == "round-robin"
+        assert args.budget_frames is None
+        assert args.fleet_sizes is None
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--scheduler", "fifo"])
+
+    def test_single_run_renders_per_stream_table(self):
+        code, text = run_cli(
+            ["fleet", "--task", "TA10", "--streams", "3",
+             "--max-horizons", "3", "--scheduler", "deadline",
+             "--budget-frames", "200",
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        assert "stream" in text and "frames_relayed" in text
+        assert "num_streams: 3" in text
+        assert "scheduler: deadline" in text
+        assert "relays_flushed" in text
+
+    def test_sweep_renders_throughput_table(self):
+        code, text = run_cli(
+            ["fleet", "--task", "TA10", "--fleet-sizes", "1,2",
+             "--max-horizons", "2",
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        assert "fleet_fps" in text and "seq_fps" in text
+        assert "speedup" in text
+
+
 class TestObservabilityFlags:
     @pytest.fixture(autouse=True)
     def clean_obs(self):
