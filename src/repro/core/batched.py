@@ -34,7 +34,16 @@ from typing import List
 
 import numpy as np
 
-from ..nn import GRU, LSTM, MLP, Dropout, Linear, Sequential
+from ..nn import (
+    GRU,
+    LSTM,
+    MLP,
+    Dropout,
+    Linear,
+    Sequential,
+    gru_forward_numpy,
+    lstm_forward_numpy,
+)
 from ..nn.layers import ReLU, Sigmoid, Tanh
 from .model import EventHit, EventHitOutput
 
@@ -49,9 +58,11 @@ def rowstable_matmul(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
     fixed-order loop per output element, so row ``i`` of the product is
     bitwise identical whether ``x`` carries 1 row or 1000.  BLAS GEMM does
     not make that promise — it picks different kernels (and therefore
-    different partial-sum orders) for different batch shapes.
+    different partial-sum orders) for different batch shapes.  Accepts any
+    leading batch shape (the fused LSTM forward projects the whole
+    ``(B, T, D)`` input in one contraction).
     """
-    return np.einsum("bi,io->bo", x, weight)
+    return np.einsum("...i,io->...o", x, weight)
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -119,48 +130,32 @@ class BatchedInference:
         return x
 
     def _eval_lstm(self, encoder: LSTM, x: np.ndarray) -> np.ndarray:
+        # Delegate to the fused sequence kernel with the row-stable
+        # contraction injected.  Every non-matmul op in the kernel is
+        # elementwise per row, so batch-size invariance is preserved while
+        # the recurrence reuses the fused path's hoisted input projection
+        # and preallocated gate buffers.
         cell = encoder.cell
-        hs = cell.hidden_size
-        weight_x = cell.weight_x.data
-        weight_h = cell.weight_h.data
-        bias = cell.bias.data
-        batch = x.shape[0]
-        h = np.zeros((batch, hs))
-        c = np.zeros((batch, hs))
-        for t in range(x.shape[1]):
-            gates = (
-                rowstable_matmul(x[:, t, :], weight_x)
-                + rowstable_matmul(h, weight_h)
-                + bias
-            )
-            i = _sigmoid(gates[:, 0 * hs : 1 * hs])
-            f = _sigmoid(gates[:, 1 * hs : 2 * hs])
-            g = np.tanh(gates[:, 2 * hs : 3 * hs])
-            o = _sigmoid(gates[:, 3 * hs : 4 * hs])
-            c = f * c + i * g
-            h = o * np.tanh(c)
-        return h
+        return lstm_forward_numpy(
+            x,
+            cell.weight_x.data,
+            cell.weight_h.data,
+            cell.bias.data,
+            matmul=rowstable_matmul,
+        )
 
     def _eval_gru(self, encoder: GRU, x: np.ndarray) -> np.ndarray:
         cell = encoder.cell
-        hs = cell.hidden_size
-        h = np.zeros((x.shape[0], hs))
-        for t in range(x.shape[1]):
-            x_t = x[:, t, :]
-            gates = (
-                rowstable_matmul(x_t, cell.weight_x_gates.data)
-                + rowstable_matmul(h, cell.weight_h_gates.data)
-                + cell.bias_gates.data
-            )
-            r = _sigmoid(gates[:, 0:hs])
-            z = _sigmoid(gates[:, hs : 2 * hs])
-            candidate = np.tanh(
-                rowstable_matmul(x_t, cell.weight_x_cand.data)
-                + rowstable_matmul(r * h, cell.weight_h_cand.data)
-                + cell.bias_cand.data
-            )
-            h = (1.0 - z) * candidate + z * h
-        return h
+        return gru_forward_numpy(
+            x,
+            cell.weight_x_gates.data,
+            cell.weight_h_gates.data,
+            cell.bias_gates.data,
+            cell.weight_x_cand.data,
+            cell.weight_h_cand.data,
+            cell.bias_cand.data,
+            matmul=rowstable_matmul,
+        )
 
     # ------------------------------------------------------------------
     def predict(self, covariates: np.ndarray) -> EventHitOutput:

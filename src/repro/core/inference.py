@@ -11,6 +11,11 @@ If an event is predicted present but no offset clears τ2, we fall back to a
 single-frame interval at the argmax offset, so a positive existence
 prediction always yields a non-empty relay range (the paper leaves this
 corner unspecified; an empty range would silently drop the event).
+
+The Θ scores thresholded here come from the graph-free inference
+forwards (``EventHit.predict`` / ``BatchedInference.predict``, both on
+the fused numpy path of :mod:`repro.nn.fused`); thresholding itself is
+pure numpy and never touches the autograd graph.
 """
 
 from __future__ import annotations

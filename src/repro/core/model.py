@@ -179,7 +179,13 @@ class EventHit(Module):
         return scores, frame_scores
 
     def predict(self, covariates: np.ndarray, batch_size: int = 512) -> EventHitOutput:
-        """Inference pass (eval mode, no autograd), batched for memory."""
+        """Inference pass (eval mode, no autograd), batched for memory.
+
+        Under ``no_grad`` the LSTM encoder takes the graph-free fused
+        forward (:func:`repro.nn.fused.lstm_forward_numpy`) — no backward
+        closures or autograd bookkeeping are allocated, only the raw
+        numpy recurrence with preallocated gate buffers.
+        """
         covariates = np.asarray(covariates, dtype=np.float64)
         was_training = self.training
         self.eval()

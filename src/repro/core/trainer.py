@@ -61,15 +61,25 @@ class Trainer:
         self.patience = patience
         self.scheduler_factory = scheduler_factory
 
-    def _batch_loss(self, batch: RecordSet):
-        scores, frame_scores = self.model(batch.covariates)
+    def _loss_from_arrays(
+        self,
+        covariates: np.ndarray,
+        labels: np.ndarray,
+        frame_targets: np.ndarray,
+    ):
+        scores, frame_scores = self.model(covariates)
         return total_loss(
             scores,
             frame_scores,
-            batch.labels,
-            batch.frame_targets(),
+            labels,
+            frame_targets,
             betas=self.config.betas,
             gammas=self.config.gammas,
+        )
+
+    def _batch_loss(self, batch: RecordSet):
+        return self._loss_from_arrays(
+            batch.covariates, batch.labels, batch.frame_targets()
         )
 
     def evaluate_loss(self, records: RecordSet, batch_size: int = 512) -> float:
@@ -110,22 +120,34 @@ class Trainer:
         best_val = float("inf")
         bad_epochs = 0
 
+        # Hot-loop fast path: the (B, K, H) occupancy grid and the record
+        # arrays are fixed for the whole fit, so they are materialised once
+        # here and sliced per batch — the per-batch RecordSet construction
+        # (with its full validation pass) and per-batch frame_targets()
+        # expansion would otherwise repeat every epoch.  Batch contents are
+        # identical to train.batches(): same permutation, same indices.
+        covariates = train.covariates
+        labels = train.labels
+        frame_targets = train.frame_targets()
+
         self.model.train()
         with span("train", epochs=cfg.epochs, records=len(train)) as train_span:
             for epoch in range(cfg.epochs):
                 with span("train.epoch", epoch=epoch + 1) as epoch_span:
                     epoch_loss, seen = 0.0, 0
-                    for batch in train.batches(cfg.batch_size, rng=rng):
+                    for idx in train.batch_indices(cfg.batch_size, rng=rng):
                         optimizer.zero_grad()
-                        loss = self._batch_loss(batch)
+                        loss = self._loss_from_arrays(
+                            covariates[idx], labels[idx], frame_targets[idx]
+                        )
                         loss.backward()
                         grad_norm = clip_grad_norm(
                             self.model.parameters(), cfg.grad_clip
                         )
                         observe("train.grad_norm", grad_norm)
                         optimizer.step()
-                        epoch_loss += loss.item() * len(batch)
-                        seen += len(batch)
+                        epoch_loss += loss.item() * len(idx)
+                        seen += len(idx)
                     history.train_losses.append(epoch_loss / max(seen, 1))
                     history.epochs_run = epoch + 1
                     if scheduler is not None:

@@ -171,10 +171,16 @@ class RecordSet:
         cut = min(max(cut, 1), len(self) - 1)
         return self.subset(order[:cut]), self.subset(order[cut:])
 
-    def batches(
+    def batch_indices(
         self, batch_size: int, rng: Optional[np.random.Generator] = None
     ):
-        """Yield shuffled mini-batches (as RecordSets) for training."""
+        """Yield the shuffled per-batch index arrays behind :meth:`batches`.
+
+        The training fast path slices precomputed covariate/target arrays
+        with these indices instead of materialising a validated
+        :class:`RecordSet` per batch; both generators draw the same single
+        permutation per pass, so batch contents are identical either way.
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         order = (
@@ -183,4 +189,11 @@ class RecordSet:
             else np.arange(len(self))
         )
         for lo in range(0, len(self), batch_size):
-            yield self.subset(order[lo : lo + batch_size])
+            yield order[lo : lo + batch_size]
+
+    def batches(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ):
+        """Yield shuffled mini-batches (as RecordSets) for training."""
+        for indices in self.batch_indices(batch_size, rng=rng):
+            yield self.subset(indices)

@@ -8,6 +8,9 @@ without an external DL framework:
 * :mod:`repro.nn.layers` — ``Module``, ``Linear``, ``Dropout``, activations,
   ``Sequential``/``MLP`` containers.
 * :mod:`repro.nn.lstm` — ``LSTMCell`` / ``LSTM`` encoder.
+* :mod:`repro.nn.fused` — the fused fast path: whole-sequence LSTM/BPTT
+  autograd op, graph-free ``no_grad`` forwards, fused BCE/L1/L2 loss
+  kernels (default on; ``REPRO_NN_FUSED=0`` restores the op-by-op graph).
 * :mod:`repro.nn.optim` — ``SGD`` / ``Adam`` and gradient clipping.
 * :mod:`repro.nn.losses` — the paper's L1 (existence) and L2 (interval)
   cross-entropy losses.
@@ -15,6 +18,15 @@ without an external DL framework:
 """
 
 from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from .fused import (
+    fused_binary_cross_entropy,
+    fused_enabled,
+    fused_weighted_bce_sum,
+    gru_forward_numpy,
+    lstm_forward_numpy,
+    lstm_fused,
+    use_fused,
+)
 from .layers import (
     MLP,
     Dropout,
@@ -41,6 +53,13 @@ __all__ = [
     "where",
     "no_grad",
     "is_grad_enabled",
+    "fused_enabled",
+    "use_fused",
+    "lstm_fused",
+    "lstm_forward_numpy",
+    "gru_forward_numpy",
+    "fused_weighted_bce_sum",
+    "fused_binary_cross_entropy",
     "Module",
     "Parameter",
     "Linear",

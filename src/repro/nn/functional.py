@@ -10,6 +10,7 @@ from typing import Optional
 
 import numpy as np
 
+from .fused import fused_binary_cross_entropy, fused_enabled
 from .tensor import Tensor, _ensure_tensor, concat, is_grad_enabled, stack, where
 
 __all__ = [
@@ -106,6 +107,12 @@ def binary_cross_entropy(
     if target.shape != prediction.shape:
         raise ValueError(
             f"target shape {target.shape} != prediction shape {prediction.shape}"
+        )
+    if reduction not in ("mean", "sum", "none"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    if fused_enabled():
+        return fused_binary_cross_entropy(
+            _ensure_tensor(prediction), target, weight, reduction
         )
     pos = Tensor(target)
     neg = Tensor(1.0 - target)

@@ -12,8 +12,9 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from . import init
+from .fused import fused_enabled, gru_forward_numpy
 from .layers import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["GRUCell", "GRU"]
 
@@ -98,7 +99,14 @@ class GRU(Module):
         state: Optional[Tensor] = None,
         return_sequence: bool = False,
     ):
-        """Encode a batched sequence; mirrors :class:`repro.nn.LSTM`."""
+        """Encode a batched sequence; mirrors :class:`repro.nn.LSTM`.
+
+        Under ``no_grad`` the fused graph-free numpy forward
+        (:func:`repro.nn.fused.gru_forward_numpy`) is used; the op-by-op
+        loop below remains the training path (the GRU is an ablation
+        encoder, so only its inference side is on the fused fast path) and
+        the reference for the fused-equivalence tests.
+        """
         if sequence.ndim != 3:
             raise ValueError(
                 f"expected (batch, time, features) input, got shape {sequence.shape}"
@@ -108,9 +116,23 @@ class GRU(Module):
             raise ValueError(f"expected feature dim {self.input_size}, got {features}")
         if steps == 0:
             raise ValueError("cannot encode an empty sequence")
+        if fused_enabled() and not return_sequence and not is_grad_enabled():
+            cell = self.cell
+            return Tensor(
+                gru_forward_numpy(
+                    sequence.data,
+                    cell.weight_x_gates.data,
+                    cell.weight_h_gates.data,
+                    cell.bias_gates.data,
+                    cell.weight_x_cand.data,
+                    cell.weight_h_cand.data,
+                    cell.bias_cand.data,
+                    state.data if state is not None else None,
+                )
+            )
         h = state if state is not None else self.cell.initial_state(batch)
         outputs: List[Tensor] = []
-        for t in range(steps):
+        for t in range(steps):  # reference-loop: op-by-op autograd ground truth
             h = self.cell(sequence[:, t, :], h)
             if return_sequence:
                 outputs.append(h)

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .functional import log_safe
+from .fused import fused_enabled, fused_weighted_bce_sum
 from .tensor import Tensor
 
 __all__ = ["existence_loss", "interval_loss", "total_loss", "interval_weights"]
@@ -54,6 +55,10 @@ def existence_loss(
         )
     batch, num_events = labels.shape
     beta = _event_weights(betas, num_events)
+    if fused_enabled():
+        return fused_weighted_bce_sum(
+            scores, labels, beta.reshape(1, -1), scale=1.0 / batch
+        )
     pos = Tensor(labels)
     neg = Tensor(1.0 - labels)
     per_element = -(pos * log_safe(scores) + neg * log_safe(1.0 - scores))
@@ -127,6 +132,13 @@ def interval_loss(
     batch, num_events, _ = frame_targets.shape
     gamma = _event_weights(gammas, num_events)
     weights = interval_weights(labels, frame_targets)
+    if fused_enabled():
+        return fused_weighted_bce_sum(
+            frame_scores,
+            frame_targets,
+            weights * gamma.reshape(1, -1, 1),
+            scale=1.0 / batch,
+        )
     pos = Tensor(frame_targets)
     neg = Tensor(1.0 - frame_targets)
     per_frame = -(pos * log_safe(frame_scores) + neg * log_safe(1.0 - frame_scores))
@@ -142,7 +154,13 @@ def total_loss(
     betas: Optional[Sequence[float]] = None,
     gammas: Optional[Sequence[float]] = None,
 ) -> Tensor:
-    """``L_total = L1 + L2`` as in paper §III."""
+    """``L_total = L1 + L2`` as in paper §III.
+
+    With the fused fast path enabled (the default) each term lowers to one
+    :func:`repro.nn.fused.fused_weighted_bce_sum` kernel — a raw-numpy
+    forward plus a single analytic backward closure — instead of the
+    ~10-node ``log_safe``/mul/sum autograd chains.
+    """
     return existence_loss(scores, labels, betas) + interval_loss(
         frame_scores, labels, frame_targets, gammas
     )

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from . import init
+from .fused import fused_enabled, lstm_fused
 from .layers import Module, Parameter
 from .tensor import Tensor, concat
 
@@ -130,6 +131,15 @@ class LSTM(Module):
         -------
         ``h_n`` of shape (batch, hidden_size), or ``(h_n, [h_1..h_n])`` when
         ``return_sequence`` is set.
+
+        Notes
+        -----
+        The default execution path is :func:`repro.nn.fused.lstm_fused` —
+        one autograd node for the whole sequence with a hand-derived BPTT
+        backward.  ``REPRO_NN_FUSED=0`` (or ``return_sequence=True``, which
+        needs per-step graph outputs) falls back to the op-by-op reference
+        loop below, which is kept as the ground truth for the fused-vs-
+        reference equivalence tests.
         """
         if sequence.ndim != 3:
             raise ValueError(
@@ -142,10 +152,16 @@ class LSTM(Module):
             )
         if steps == 0:
             raise ValueError("cannot encode an empty sequence")
+        if fused_enabled() and not return_sequence:
+            cell = self.cell
+            h0, c0 = state if state is not None else (None, None)
+            return lstm_fused(
+                sequence, cell.weight_x, cell.weight_h, cell.bias, h0, c0
+            )
         if state is None:
             state = self.cell.initial_state(batch)
         outputs: List[Tensor] = []
-        for t in range(steps):
+        for t in range(steps):  # reference-loop: op-by-op autograd ground truth
             x_t = sequence[:, t, :]
             state = self.cell(x_t, state)
             if return_sequence:

@@ -4,6 +4,16 @@ EventHit is trained with Adam in our reproduction (the paper does not name
 its optimiser; Adam is the standard choice for small LSTM models and is what
 the DeepHit lineage the paper cites uses).  SGD with momentum is provided for
 ablations and tests.
+
+Both optimisers are part of the fused training fast path: ``step()`` updates
+moments and parameters strictly in place through a single preallocated
+scratch buffer per parameter (no per-step temporaries in the default
+no-weight-decay configuration), and ``zero_grad()`` is lazy — it drops
+gradients to ``None`` instead of zero-filling, so parameters untouched by a
+backward pass cost nothing in ``step()``.  Because a silently skipped
+``None`` gradient is also how a lazy-zero_grad regression would hide,
+``step()`` counts skips into the ``train.params_skipped`` observability
+counter.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from ..obs import inc
 from .layers import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
@@ -22,12 +33,17 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
 
     Returns the pre-clipping norm, mirroring the torch utility.  LSTMs are
     prone to occasional exploding gradients; the EventHit trainer clips at a
-    configurable norm every step.
+    configurable norm every step.  ``max_norm`` is validated *before* any
+    norm computation, and the reduction short-circuits when no parameter
+    carries a gradient (the common lazy-``zero_grad`` case for frozen
+    sub-networks).
     """
-    params = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for p in params:
@@ -49,6 +65,18 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    @staticmethod
+    def _count_skipped(skipped: int) -> None:
+        """Publish silently skipped ``None``-grad parameters.
+
+        Lazy ``zero_grad`` makes a missing gradient legal; the
+        ``train.params_skipped`` counter keeps an unexpected regression
+        (e.g. a backward pass that stopped reaching the encoder) visible
+        in the metrics registry instead of silently freezing weights.
+        """
+        if skipped:
+            inc("train.params_skipped", skipped)
 
 
 class SGD(Optimizer):
@@ -72,8 +100,10 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        skipped = 0
         for p, v in zip(self.parameters, self._velocity):
             if p.grad is None:
+                skipped += 1
                 continue
             grad = p.grad
             if self.weight_decay:
@@ -83,10 +113,19 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data -= self.lr * grad
+        self._count_skipped(skipped)
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias correction."""
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    ``step()`` is fully in place: per parameter it reuses one preallocated
+    scratch buffer for every intermediate (the ``(1-β)·g`` terms, ``g²``,
+    and the ``√v̂ + ε`` denominator), so the hot training loop performs no
+    per-step array allocation.  The update folds the bias corrections into
+    scalar factors — ``p ← p − (lr/c₁) · m / (√(v/c₂) + ε)`` — which is
+    algebraically identical to the textbook form.
+    """
 
     def __init__(
         self,
@@ -108,6 +147,7 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
         self._t = 0
 
     def step(self) -> None:
@@ -115,16 +155,28 @@ class Adam(Optimizer):
         b1, b2 = self.beta1, self.beta2
         correction1 = 1.0 - b1**self._t
         correction2 = 1.0 - b2**self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        step_scale = self.lr / correction1
+        skipped = 0
+        for p, m, v, buf in zip(self.parameters, self._m, self._v, self._scratch):
             if p.grad is None:
+                skipped += 1
                 continue
             grad = p.grad
             if self.weight_decay:
+                # Decay needs grad twice while ``buf`` is busy, so this
+                # (ablation-only) branch pays one temporary.
                 grad = grad + self.weight_decay * p.data
+            np.multiply(grad, 1.0 - b1, out=buf)
             m *= b1
-            m += (1.0 - b1) * grad
+            m += buf
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - b2
             v *= b2
-            v += (1.0 - b2) * grad**2
-            m_hat = m / correction1
-            v_hat = v / correction2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += buf
+            np.divide(v, correction2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= step_scale
+            p.data -= buf
+        self._count_skipped(skipped)

@@ -144,10 +144,17 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, copy: bool = True) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``copy=False`` transfers ownership of a freshly allocated array
+        (the fused kernels in :mod:`repro.nn.fused` use it to avoid
+        duplicating whole-sequence gradient buffers); callers passing a
+        view of live data must keep the default.
+        """
         grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad.copy() if copy else grad
         else:
             self.grad += grad
 

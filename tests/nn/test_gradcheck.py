@@ -204,3 +204,123 @@ def test_lstm_sequence_parameter_grads():
     lstm = LSTM(2, 3, rng=np.random.default_rng(3))
     x = RNG.normal(size=(2, 4, 2))  # batch=2, time=4
     _module_gradcheck(lstm, x, tol=5e-4)
+
+
+# ----------------------------------------------------------------------
+# Fused fast path: finite-difference gradcheck + fused-vs-reference
+# equivalence (tentpole correctness pins; see repro/nn/fused.py)
+# ----------------------------------------------------------------------
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.nn import (  # noqa: E402
+    LSTM as _LSTM,
+    fused_binary_cross_entropy,
+    fused_weighted_bce_sum,
+    lstm_fused,
+    use_fused,
+)
+
+
+@pytest.mark.parametrize("fused", [True, False])
+def test_lstm_sequence_parameter_grads_both_paths(fused):
+    lstm = _LSTM(2, 3, rng=np.random.default_rng(3))
+    x = RNG.normal(size=(2, 4, 2))
+    with use_fused(fused):
+        _module_gradcheck(lstm, x, tol=5e-4)
+
+
+def test_lstm_fused_sequence_grad():
+    lstm = _LSTM(3, 4, rng=np.random.default_rng(5))
+    cell = lstm.cell
+    x = RNG.normal(size=(2, 5, 3))
+
+    def fn(t):
+        return (
+            lstm_fused(t, cell.weight_x, cell.weight_h, cell.bias) ** 2
+        ).sum()
+
+    with use_fused(True):
+        check(fn, x, tol=5e-4)
+
+
+def test_lstm_fused_initial_state_grads():
+    lstm = _LSTM(2, 3, rng=np.random.default_rng(6))
+    cell = lstm.cell
+    x = Tensor(RNG.normal(size=(2, 4, 2)))
+
+    for which in ("h0", "c0"):
+        def fn(t, which=which):
+            h0 = t if which == "h0" else Tensor(np.zeros((2, 3)))
+            c0 = t if which == "c0" else Tensor(np.zeros((2, 3)))
+            return (
+                lstm_fused(x, cell.weight_x, cell.weight_h, cell.bias, h0, c0)
+                ** 2
+            ).sum()
+
+        check(fn, RNG.normal(size=(2, 3)), tol=5e-4)
+
+
+def test_fused_weighted_bce_sum_grad():
+    # Keep predictions inside (eps, 1-eps) so the clip mask is inactive
+    # and the finite difference is smooth.
+    p = RNG.uniform(0.1, 0.9, size=(4, 3))
+    target = (RNG.random((4, 3)) < 0.5).astype(float)
+    weight = RNG.uniform(0.5, 2.0, size=(4, 3))
+    check(
+        lambda t: fused_weighted_bce_sum(t, target, weight, scale=0.7), p
+    )
+
+
+def test_fused_binary_cross_entropy_grad():
+    p = RNG.uniform(0.1, 0.9, size=(3, 5))
+    target = (RNG.random((3, 5)) < 0.5).astype(float)
+    for reduction in ("mean", "sum"):
+        check(
+            lambda t, r=reduction: (
+                fused_binary_cross_entropy(t, target, reduction=r)
+                if r != "none"
+                else fused_binary_cross_entropy(
+                    t, target, reduction=r
+                ).sum()
+            ),
+            p,
+        )
+
+
+def _run_lstm_path(fused, x, batch, time, features, hidden, seed):
+    """One forward+backward through LSTM on the requested path; returns
+    (output, dict of gradients)."""
+    lstm = _LSTM(features, hidden, rng=np.random.default_rng(seed))
+    inp = Tensor(x.copy(), requires_grad=True)
+    with use_fused(fused):
+        out = lstm(inp)
+        (out**2).sum().backward()
+    grads = {name: p.grad.copy() for name, p in lstm.named_parameters()}
+    grads["input"] = inp.grad.copy()
+    return out.data.copy(), grads
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=5),
+    time=st.integers(min_value=1, max_value=7),
+    features=st.integers(min_value=1, max_value=5),
+    hidden=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fused_matches_reference_hypothesis(batch, time, features, hidden, seed):
+    """Fused and op-by-op paths agree to <=1e-10 on outputs and every
+    gradient, across random shapes (incl. batch=1 / time=1 edges)."""
+    x = np.random.default_rng(seed + 1).normal(size=(batch, time, features))
+    out_f, grads_f = _run_lstm_path(True, x, batch, time, features, hidden, seed)
+    out_r, grads_r = _run_lstm_path(False, x, batch, time, features, hidden, seed)
+    np.testing.assert_allclose(out_f, out_r, rtol=1e-10, atol=1e-10)
+    assert grads_f.keys() == grads_r.keys()
+    for name in grads_r:
+        np.testing.assert_allclose(
+            grads_f[name],
+            grads_r[name],
+            rtol=1e-10,
+            atol=1e-10,
+            err_msg=f"gradient mismatch for {name}",
+        )

@@ -107,3 +107,101 @@ class TestClipGradNorm:
     def test_ignores_gradless_params(self):
         p = Parameter(np.zeros(1))
         assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestClipValidationOrder:
+    def test_validates_max_norm_before_touching_grads(self):
+        # A bad max_norm must fail before any norm arithmetic: the
+        # parameter iterable is never consumed when validation trips.
+        def never_consumed():
+            raise AssertionError("norm computed before max_norm validation")
+            yield  # pragma: no cover
+
+        with pytest.raises(ValueError):
+            clip_grad_norm(never_consumed(), -1.0)
+
+    def test_short_circuits_when_no_param_has_grad(self):
+        params = [Parameter(np.zeros(3)) for _ in range(4)]
+        result = clip_grad_norm(params, 0.5)
+        assert result == 0.0
+        assert all(p.grad is None for p in params)
+
+
+class TestSkippedParamCounter:
+    """Lazy zero_grad makes None grads legal; skips must stay visible."""
+
+    @pytest.fixture()
+    def fresh_registry(self):
+        from repro import obs
+        from repro.obs import MetricsRegistry, get_registry, set_registry
+
+        was_enabled = obs.is_enabled()
+        obs.configure(enabled=True)
+        previous = set_registry(MetricsRegistry())
+        try:
+            yield get_registry
+        finally:
+            set_registry(previous)
+            obs.configure(enabled=was_enabled)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda p: SGD(p, lr=0.1), lambda p: Adam(p, lr=0.1)],
+        ids=["sgd", "adam"],
+    )
+    def test_counts_none_grad_params(self, factory, fresh_registry):
+        a, b, c = (Parameter(np.ones(2)) for _ in range(3))
+        opt = factory([a, b, c])
+        a.grad = np.ones(2)  # b and c skipped
+        opt.step()
+        counters = fresh_registry().snapshot()["counters"]
+        assert counters.get("train.params_skipped") == 2.0
+        opt.zero_grad()
+        a.grad = np.ones(2)
+        b.grad = np.ones(2)
+        opt.step()  # only c skipped this time
+        counters = fresh_registry().snapshot()["counters"]
+        assert counters.get("train.params_skipped") == 3.0
+
+
+class TestStateAlignmentWithNoneGrads:
+    """Optimiser per-parameter state (moments/velocity) must stay zipped
+    to the parameter list when some grads are None — a skipped middle
+    parameter must not shift its neighbours onto the wrong state."""
+
+    @staticmethod
+    def _drive(opt, a, c, steps=5):
+        rng = np.random.default_rng(0)
+        for _ in range(steps):
+            a.grad = rng.normal(size=a.data.shape)
+            c.grad = a.grad * 0.5
+            opt.step()
+            a.grad = None
+            c.grad = None
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: SGD(p, lr=0.05, momentum=0.9),
+            lambda p: Adam(p, lr=0.05),
+        ],
+        ids=["sgd-momentum", "adam"],
+    )
+    def test_middle_none_grad_does_not_shift_state(self, factory):
+        # Reference run: only the two live parameters.
+        a1, c1 = Parameter(np.ones(3)), Parameter(np.full(3, 2.0))
+        ref = factory([a1, c1])
+        self._drive(ref, a1, c1)
+
+        # Same drive with a never-gradded parameter between them.
+        a2, b2, c2 = (
+            Parameter(np.ones(3)),
+            Parameter(np.full(3, 7.0)),
+            Parameter(np.full(3, 2.0)),
+        )
+        opt = factory([a2, b2, c2])
+        self._drive(opt, a2, c2)
+
+        np.testing.assert_array_equal(b2.data, np.full(3, 7.0))
+        np.testing.assert_array_equal(a1.data, a2.data)
+        np.testing.assert_array_equal(c1.data, c2.data)

@@ -147,3 +147,65 @@ def test_lint_catches_planted_violations(tmp_path):
     assert "bad.py:4" in hits[1] and "time.time" in hits[1]
     assert "bad.py:9" in hits[2] and "time.sleep" in hits[2]
     assert "bad.py:12" in hits[3] and "except" in hits[3]
+
+
+# ----------------------------------------------------------------------
+# Recurrent hot-path loops: the fused kernels own the per-timestep work
+# ----------------------------------------------------------------------
+# The fused LSTM/BPTT fast path (repro/nn/fused.py) exists because a
+# Python-level `for t in range(steps)` over Tensor ops costs ~10 autograd
+# nodes per timestep.  New timestep loops in the recurrent modules would
+# silently reintroduce that cost, so every `for` *statement* in these
+# files must carry a `# reference-loop:` annotation — the allowlist for
+# the op-by-op ground truth kept for the fused-equivalence tests.
+# (Comprehensions, e.g. in weight init, are not statements and are fine.)
+
+import ast
+
+RECURRENT_HOT_MODULES = ("nn/lstm.py", "nn/gru.py")
+LOOP_ANNOTATION = "# reference-loop"
+
+
+def scan_recurrent_loops(path, root=None):
+    """Unannotated `for`/`while` statements in a recurrent hot module."""
+    root = root or SRC_ROOT.parent
+    rel = path.relative_to(root) if path.is_relative_to(root) else path
+    source = path.read_text()
+    lines = source.splitlines()
+    found = []
+    for node in ast.walk(ast.parse(source)):
+        if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            continue
+        header = lines[node.lineno - 1]
+        if LOOP_ANNOTATION not in header:
+            found.append(
+                f"{rel}:{node.lineno}: per-timestep Python loop in a "
+                "recurrent hot path — vectorise it in repro/nn/fused.py, "
+                f"or annotate the reference loop with `{LOOP_ANNOTATION}:`"
+            )
+    return found
+
+
+def test_recurrent_modules_have_no_unannotated_loops():
+    violations = []
+    for name in RECURRENT_HOT_MODULES:
+        violations.extend(scan_recurrent_loops(SRC_ROOT / name))
+    assert not violations, "\n".join(violations)
+
+
+def test_recurrent_loop_scan_catches_planted_violation(tmp_path):
+    planted = tmp_path / "hot.py"
+    planted.write_text(
+        '"""for t in range(steps): in a docstring is fine."""\n'
+        "values = [x * 2 for x in range(4)]\n"  # comprehension: allowed
+        "for t in range(4):  # reference-loop: op-by-op ground truth\n"
+        "    pass\n"
+        "for t in range(4):\n"
+        "    pass\n"
+        "while t:\n"
+        "    t -= 1\n"
+    )
+    hits = scan_recurrent_loops(planted, root=tmp_path)
+    assert len(hits) == 2
+    assert "hot.py:5" in hits[0]
+    assert "hot.py:7" in hits[1]
