@@ -16,6 +16,8 @@ reachable from the shell::
     python -m repro.cli metrics --task TA10 --algorithm EHCR
     python -m repro.cli chaos --task TA10 --fault-rates 0,0.1,0.3 \
         --max-attempts 1,4 --failure-policy defer
+    python -m repro.cli chaos --task TA10 --ingest \
+        --ingest-fault-rates 0,0.1,0.2 --imputation none,hold-last
     python -m repro.cli fleet --task TA10 --streams 8 --scheduler deadline
     python -m repro.cli fleet --task TA10 --fleet-sizes 1,4,16   # sweep
 
@@ -36,10 +38,12 @@ from typing import List, Optional, Sequence
 from . import obs
 from .cloud import BreakerConfig, FaultPlan, RetryPolicy
 from .fleet import SCHEDULERS, FleetCIService
+from .ingest import IngestFaultPlan
 from .harness import (
     ExperimentSettings,
     build_fleet_lanes,
     chaos_experiment,
+    ingest_chaos_experiment,
     fleet_marshaller,
     fleet_throughput_sweep,
     fig10_stage_breakdown,
@@ -201,6 +205,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated seconds the circuit stays open")
     chaos.add_argument("--max-horizons", type=int, default=None,
                        help="cap the marshalled horizons per cell")
+    chaos.add_argument(
+        "--ingest",
+        action="store_true",
+        help="sweep ingest faults (corrupted camera feeds + StreamGuard) "
+        "instead of CI faults",
+    )
+    chaos.add_argument(
+        "--ingest-fault-rates",
+        default="0,0.05,0.1,0.2",
+        help="comma-separated total ingest fault rates to sweep "
+        "(with --ingest)",
+    )
+    chaos.add_argument(
+        "--imputation",
+        default=",".join(("none", "hold-last", "zero-fill", "linear-interp")),
+        help="comma-separated guard policies per rate: 'none' (unguarded "
+        "baseline) and/or imputation policies (with --ingest)",
+    )
+    chaos.add_argument(
+        "--quarantine-policy",
+        default="relay-all",
+        choices=["relay-all", "skip"],
+        help="fallback for quarantined horizons (with --ingest)",
+    )
+    chaos.add_argument(
+        "--ingest-fault-plan",
+        default=None,
+        metavar="FILE",
+        help="load the base IngestFaultPlan from FILE (JSON); its rates "
+        "are rescaled to each swept rate (with --ingest)",
+    )
+    chaos.add_argument(
+        "--ingest-fault-plan-out",
+        default=None,
+        metavar="FILE",
+        help="write the resolved base IngestFaultPlan to FILE (JSON) for "
+        "reuse via --ingest-fault-plan",
+    )
 
     fleet = sub.add_parser(
         "fleet",
@@ -307,8 +349,36 @@ def _parse_float_list(text: str) -> List[float]:
     return [float(item) for item in text.split(",") if item.strip()]
 
 
+def _run_ingest_chaos(args: argparse.Namespace, out) -> None:
+    """Ingest-fault × guard-policy sweep over one task's deployment."""
+    if args.ingest_fault_plan is not None:
+        with open(args.ingest_fault_plan, "r", encoding="utf-8") as handle:
+            base_plan = IngestFaultPlan.from_json(handle.read())
+    else:
+        base_plan = IngestFaultPlan(seed=args.seed)
+    if args.ingest_fault_plan_out is not None:
+        with open(args.ingest_fault_plan_out, "w", encoding="utf-8") as handle:
+            handle.write(base_plan.to_json() + "\n")
+    rates = _parse_float_list(args.ingest_fault_rates)
+    imputations = [item.strip() for item in args.imputation.split(",") if item.strip()]
+    rows = ingest_chaos_experiment(
+        args.task,
+        fault_rates=rates,
+        imputations=imputations,
+        settings=_settings(args),
+        base_plan=base_plan,
+        quarantine_policy=args.quarantine_policy,
+        seed=args.seed,
+        max_horizons=args.max_horizons,
+    )
+    print(format_table(rows), file=out)
+
+
 def _run_chaos(args: argparse.Namespace, out) -> None:
     """Fault-rate × retry-policy sweep over one task's deployment."""
+    if args.ingest:
+        _run_ingest_chaos(args, out)
+        return
     if args.fault_plan is not None:
         with open(args.fault_plan, "r", encoding="utf-8") as handle:
             base_plan = FaultPlan.from_json(handle.read())

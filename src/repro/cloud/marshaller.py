@@ -23,7 +23,8 @@ from ..core.inference import extract_interval_segments, extract_intervals
 from ..core.model import EventHit
 from ..features.extractors import FeatureMatrix
 from ..features.pipeline import CovariatePipeline
-from ..obs import inc, log_info, span
+from ..ingest.guard import HEALTHY, QUARANTINED, GuardedStream, StreamGuard
+from ..obs import inc, log_info, set_gauge, span
 from ..video.events import EventType
 from ..video.stream import StreamSegment, VideoStream
 from .faults import CIError
@@ -88,6 +89,15 @@ class MarshallingReport:
     reliable infrastructure; they fill in when the service raises
     :class:`~repro.cloud.faults.CIError` and ``run(...,
     failure_policy="skip"|"defer")`` absorbs the failure.
+
+    The ingest counters (``frames_invalid`` / ``frames_imputed`` /
+    ``guarantee_voided_frames`` / ``quarantined_frames`` /
+    ``health_transitions``) are all zero on clean input; they fill in
+    when ``run(..., guard=StreamGuard(...))`` sanitizes a degraded
+    feature stream.  ``guarantee_voided_frames`` counts covered frames
+    of horizons whose conformal coverage guarantees no longer hold —
+    any horizon decided from an imputed collection window, predicting
+    over invalid frames, or taken while the stream was not HEALTHY.
     """
 
     horizons_evaluated: int = 0
@@ -102,6 +112,11 @@ class MarshallingReport:
     frames_lost: int = 0
     lost_event_frames: int = 0
     retries: int = 0
+    frames_invalid: int = 0
+    frames_imputed: int = 0
+    guarantee_voided_frames: int = 0
+    quarantined_frames: int = 0
+    health_transitions: int = 0
 
     @property
     def frame_recall(self) -> float:
@@ -156,6 +171,11 @@ class MarshallingReport:
             self.frames_lost += other.frames_lost
             self.lost_event_frames += other.lost_event_frames
             self.retries += other.retries
+            self.frames_invalid += other.frames_invalid
+            self.frames_imputed += other.frames_imputed
+            self.guarantee_voided_frames += other.guarantee_voided_frames
+            self.quarantined_frames += other.quarantined_frames
+            self.health_transitions += other.health_transitions
         return self
 
     @classmethod
@@ -178,6 +198,11 @@ class MarshallingReport:
             "frames_lost": self.frames_lost,
             "lost_event_frames": self.lost_event_frames,
             "retries": self.retries,
+            "frames_invalid": self.frames_invalid,
+            "frames_imputed": self.frames_imputed,
+            "guarantee_voided_frames": self.guarantee_voided_frames,
+            "quarantined_frames": self.quarantined_frames,
+            "health_transitions": self.health_transitions,
             "frame_recall": self.frame_recall,
             "effective_recall": self.effective_recall,
             "relay_fraction": self.relay_fraction,
@@ -344,6 +369,77 @@ class StreamMarshaller:
         return truth_frames
 
     # ------------------------------------------------------------------
+    # Ingest-guard bookkeeping (shared with the fleet marshaller)
+    # ------------------------------------------------------------------
+    def _guard_bookkeeping(
+        self, guarded: GuardedStream, frame: int, report: "MarshallingReport"
+    ) -> int:
+        """Per-horizon guard accounting; returns the health code at
+        ``frame`` (the decision point — the end of the collection
+        window), which is what the caller routes on."""
+        horizon = self.horizon
+        health = guarded.state_at(frame)
+        lo, hi = frame + 1, frame + horizon + 1
+        invalid = guarded.invalid_count(lo, hi)
+        imputed = guarded.imputed_count(lo, hi)
+        report.frames_invalid += invalid
+        report.frames_imputed += imputed
+        report.health_transitions += guarded.transitions_in(lo, hi)
+        window_dirty = (
+            guarded.invalid_count(frame - self.pipeline.window_size + 1, frame + 1)
+            > 0
+        )
+        if health != HEALTHY or window_dirty or invalid > 0:
+            # C-CLASSIFY / C-REGRESS coverage is calibrated on clean,
+            # exchangeable windows; none of that holds here.
+            report.guarantee_voided_frames += horizon
+            inc("ingest.guarantee_voided", horizon)
+        if health == QUARANTINED:
+            report.quarantined_frames += horizon
+            inc("stream.health.quarantined_horizons")
+        set_gauge("stream.health.state", health)
+        return health
+
+    def _quarantine_horizon(
+        self,
+        stream: VideoStream,
+        frame: int,
+        service: CloudInferenceService,
+        report: "MarshallingReport",
+        quarantine_policy: str,
+        failure_policy: str,
+        pending: List[_DeferredSegment],
+    ) -> None:
+        """Conservative fallback for a quarantined horizon.
+
+        The model's input is untrustworthy, so no prediction is made:
+        ``"relay-all"`` ships the whole horizon to the CI per event type
+        (spend money, miss nothing), ``"skip"`` relays nothing and the
+        horizon's frames stay accounted under ``quarantined_frames``.
+        """
+        for event_type in self.event_types:
+            truth_frames = self._horizon_truth_frames(stream, frame, event_type)
+            report.true_event_frames += len(truth_frames)
+            if quarantine_policy != "relay-all":
+                continue
+            segment = stream.segment(frame + 1, frame + self.horizon)
+            try:
+                detections = service.detect(segment, event_type)
+            except CIError as exc:
+                if failure_policy == "raise":
+                    raise
+                if failure_policy == "skip":
+                    self._fail_segment(stream, segment, event_type, report, exc)
+                else:
+                    self._defer_segment(
+                        _DeferredSegment(segment, event_type), pending, report
+                    )
+            else:
+                self._credit_success(
+                    stream, segment, event_type, detections, report
+                )
+
+    # ------------------------------------------------------------------
     # Degraded-mode bookkeeping
     # ------------------------------------------------------------------
     @staticmethod
@@ -445,6 +541,7 @@ class StreamMarshaller:
         max_horizons: Optional[int] = None,
         failure_policy: str = "raise",
         max_deferrals: int = 8,
+        guard: Optional[StreamGuard] = None,
     ) -> MarshallingReport:
         """Marshal ``stream`` horizon by horizon through ``service``.
 
@@ -460,6 +557,14 @@ class StreamMarshaller:
           queue drains at stream end, so deferrals are clamped to it);
           a segment failing more than ``max_deferrals`` times is charged
           as lost, which bounds the run even under sustained faults.
+
+        ``guard``, when given, sanitizes ``features`` before any window is
+        cut (imputation replaces invalid values, the health state machine
+        tracks stream quality) and quarantined horizons bypass the model
+        entirely, falling back to the guard's ``quarantine_policy``.  On a
+        clean stream the guard returns the same feature object and every
+        guard counter stays zero, so the report is byte-identical to an
+        unguarded run.
         """
         if features.num_frames != stream.length:
             raise ValueError("feature matrix length != stream length")
@@ -472,6 +577,10 @@ class StreamMarshaller:
             )
         if max_deferrals < 1:
             raise ValueError("max_deferrals must be >= 1")
+        guarded: Optional[GuardedStream] = None
+        if guard is not None:
+            guarded = guard.sanitize(features)
+            features = guarded.features
         report = MarshallingReport()
         horizon = self.horizon
         frame = start_frame if start_frame is not None else self.pipeline.min_frame()
@@ -493,6 +602,27 @@ class StreamMarshaller:
                         pending = self._attempt_deferred(
                             pending, stream, service, report, max_deferrals
                         )
+                    if guarded is not None:
+                        health = self._guard_bookkeeping(guarded, frame, report)
+                        if health == QUARANTINED:
+                            # Model input is untrustworthy: skip the
+                            # forward pass, fall back conservatively.
+                            self._quarantine_horizon(
+                                stream,
+                                frame,
+                                service,
+                                report,
+                                guard.quarantine_policy,
+                                failure_policy,
+                                pending,
+                            )
+                            report.horizons_evaluated += 1
+                            report.frames_covered += horizon
+                            frame += horizon
+                            self._advance_service_clock(
+                                service, horizon / stream.fps
+                            )
+                            continue
                     window = self.pipeline.covariates_at(features, frame)
                     output = self.inference.predict(window[None])
                     exists, segments = self._decide(output)

@@ -18,7 +18,7 @@ from .inference import (
     threshold_predictions,
 )
 from .trainer import Trainer, TrainingHistory, train_eventhit
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 
 __all__ = [
     "BatchedInference",
@@ -35,6 +35,7 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "train_eventhit",
+    "CheckpointError",
     "save_checkpoint",
     "load_checkpoint",
 ]

@@ -19,12 +19,21 @@ import numpy as np
 from .config import EventHitConfig
 from .model import EventHit
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint"]
 
 PathLike = Union[str, os.PathLike]
 
 _META_KEY = "__eventhit_meta__"
 _FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is malformed, truncated, or corrupted.
+
+    Subclasses :class:`ValueError` so pre-existing callers catching that
+    keep working; new callers should catch this to distinguish a bad
+    checkpoint from a bad argument.
+    """
 
 
 def save_checkpoint(model: EventHit, path: PathLike) -> None:
@@ -44,30 +53,58 @@ def save_checkpoint(model: EventHit, path: PathLike) -> None:
 
 
 def load_checkpoint(path: PathLike) -> EventHit:
-    """Rebuild an EventHit from a checkpoint written by :func:`save_checkpoint`."""
+    """Rebuild an EventHit from a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` (a :class:`ValueError`) when the file
+    is not an EventHit checkpoint, was written by an unknown format
+    version, has missing/unexpected/shape-mismatched parameter tensors,
+    or carries non-finite parameter values — a deployment must fail fast
+    on a corrupted artifact, not serve NaN scores.
+    """
     with np.load(path) as archive:
         if _META_KEY not in archive.files:
-            raise ValueError(f"{path!r} is not an EventHit checkpoint")
-        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+            raise CheckpointError(f"{path!r} is not an EventHit checkpoint")
+        try:
+            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"{path!r} has corrupted checkpoint metadata: {exc}"
+            ) from exc
         if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
+            raise CheckpointError(
                 f"unsupported checkpoint version {meta.get('format_version')!r}"
             )
-        config_dict = meta["config"]
-        # Tuples become lists through JSON; restore the tuple-typed fields.
-        for key in ("shared_hidden", "head_hidden", "betas", "gammas"):
-            if config_dict.get(key) is not None:
-                config_dict[key] = tuple(config_dict[key])
-        config = EventHitConfig(**config_dict)
-        model = EventHit(
-            num_features=int(meta["num_features"]),
-            num_events=int(meta["num_events"]),
-            config=config,
-            encoder=meta["encoder"],
-        )
+        try:
+            config_dict = dict(meta["config"])
+            # Tuples become lists through JSON; restore the tuple-typed
+            # fields.
+            for key in ("shared_hidden", "head_hidden", "betas", "gammas"):
+                if config_dict.get(key) is not None:
+                    config_dict[key] = tuple(config_dict[key])
+            config = EventHitConfig(**config_dict)
+            model = EventHit(
+                num_features=int(meta["num_features"]),
+                num_events=int(meta["num_events"]),
+                config=config,
+                encoder=meta["encoder"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"{path!r} has invalid checkpoint metadata: {exc}"
+            ) from exc
         state = {
             name: archive[name] for name in archive.files if name != _META_KEY
         }
-        model.load_state_dict(state)
+        try:
+            model.load_state_dict(state)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"{path!r} does not match its declared architecture: {exc}"
+            ) from exc
+        for name, value in state.items():
+            if not np.isfinite(value).all():
+                raise CheckpointError(
+                    f"{path!r} carries non-finite values in parameter {name!r}"
+                )
     model.eval()
     return model

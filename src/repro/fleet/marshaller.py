@@ -45,6 +45,7 @@ from ..cloud.faults import CIError
 from ..cloud.marshaller import FAILURE_POLICIES, MarshallingReport, StreamMarshaller
 from ..cloud.service import UsageLedger
 from ..features.extractors import FeatureMatrix
+from ..ingest.guard import QUARANTINED, GuardedStream, StreamGuard
 from ..obs import inc, log_info, observe, set_gauge, span
 from ..video.stream import VideoStream
 from .scheduler import (
@@ -73,7 +74,7 @@ class FleetLane:
 class _LaneState:
     """Mutable per-lane run state (cursor, report, shadow ledger)."""
 
-    __slots__ = ("lane", "report", "shadow", "frame", "done")
+    __slots__ = ("lane", "report", "shadow", "frame", "done", "guarded", "features")
 
     def __init__(self, lane: FleetLane, start_frame: int):
         self.lane = lane
@@ -85,6 +86,11 @@ class _LaneState:
         self.shadow = UsageLedger()
         self.frame = start_frame
         self.done = False
+        # Set by _make_states when a guard is in play: the sanitized view
+        # this lane's windows are cut from (same object as lane.features
+        # on a clean stream).
+        self.guarded: Optional[GuardedStream] = None
+        self.features = lane.features
 
     @property
     def name(self) -> str:
@@ -208,7 +214,9 @@ class FleetMarshaller:
             "FleetCIService"
         )
 
-    def _make_states(self, lanes, fleet_service, start_frame) -> List[_LaneState]:
+    def _make_states(
+        self, lanes, fleet_service, start_frame, guard=None
+    ) -> List[_LaneState]:
         pipeline = self.marshaller.pipeline
         start = start_frame if start_frame is not None else pipeline.min_frame()
         if start < pipeline.min_frame():
@@ -234,7 +242,11 @@ class FleetMarshaller:
                 raise ValueError(
                     "fleet lanes must share one fps (the tick clock is global)"
                 )
-            states.append(_LaneState(lane, start))
+            state = _LaneState(lane, start)
+            if guard is not None:
+                state.guarded = guard.sanitize(lane.features)
+                state.features = state.guarded.features
+            states.append(state)
         if not states:
             raise ValueError("a fleet run needs at least one lane")
         return states
@@ -259,7 +271,7 @@ class FleetMarshaller:
         m = self.marshaller
         windows = np.stack(
             [
-                m.pipeline.covariates_at(state.lane.features, state.frame)
+                m.pipeline.covariates_at(state.features, state.frame)
                 for state in active
             ]
         )
@@ -292,6 +304,40 @@ class FleetMarshaller:
             state.report.horizons_evaluated += 1
             state.report.frames_covered += m.horizon
             state.frame += m.horizon
+        return requests
+
+    def _quarantine_tick(
+        self, state: _LaneState, tick: int, quarantine_policy: str
+    ) -> List[RelayRequest]:
+        """One quarantined horizon for one lane: no forward pass.
+
+        Under ``"relay-all"`` the whole horizon enters the shared relay
+        pool per event type — scheduled, budgeted, and billed exactly like
+        model-chosen segments; under ``"skip"`` nothing is relayed.
+        """
+        m = self.marshaller
+        requests: List[RelayRequest] = []
+        for event_type in m.event_types:
+            truth_frames = m._horizon_truth_frames(
+                state.stream, state.frame, event_type
+            )
+            state.report.true_event_frames += len(truth_frames)
+            if quarantine_policy != "relay-all":
+                continue
+            segment = state.stream.segment(
+                state.frame + 1, state.frame + m.horizon
+            )
+            requests.append(
+                RelayRequest(
+                    lane=state.name,
+                    segment=segment,
+                    event_type=event_type,
+                    tick=tick,
+                )
+            )
+        state.report.horizons_evaluated += 1
+        state.report.frames_covered += m.horizon
+        state.frame += m.horizon
         return requests
 
     def _schedule(
@@ -387,6 +433,7 @@ class FleetMarshaller:
         max_horizons: Optional[int] = None,
         failure_policy: str = "raise",
         max_deferrals: int = 8,
+        guard: Optional[StreamGuard] = None,
     ) -> FleetReport:
         """Marshal every lane tick by tick through the shared ``service``.
 
@@ -400,6 +447,14 @@ class FleetMarshaller:
         or any wrapper stack around one (fault injector, resilient
         client); ``failure_policy`` and ``max_deferrals`` behave exactly
         as in :meth:`StreamMarshaller.run`, per lane.
+
+        ``guard``, when given, sanitizes every lane's features up front
+        (the guard is stateless, so one instance serves the fleet) and
+        lanes whose health is QUARANTINED at a tick drop out of that
+        tick's stacked forward pass, falling back to the guard's
+        ``quarantine_policy`` through the shared relay pool.  Clean lanes
+        are unaffected: their reports stay byte-identical to an unguarded
+        run.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -411,7 +466,7 @@ class FleetMarshaller:
         m = self.marshaller
         fleet_service = self._activation_target(service)
         activate = fleet_service.activate
-        states = self._make_states(list(lanes), fleet_service, start_frame)
+        states = self._make_states(list(lanes), fleet_service, start_frame, guard)
         by_name = {state.name: state for state in states}
         fps = states[0].stream.fps
 
@@ -436,11 +491,26 @@ class FleetMarshaller:
                 ):
                     pool = backlog
                     backlog = []
-                    if active:
+                    predicting = active
+                    if guard is not None and active:
+                        # Health triage: quarantined lanes bypass the
+                        # batched forward and fall back conservatively.
+                        predicting = []
+                        for state in active:
+                            health = m._guard_bookkeeping(
+                                state.guarded, state.frame, state.report
+                            )
+                            if health == QUARANTINED:
+                                pool = pool + self._quarantine_tick(
+                                    state, tick, guard.quarantine_policy
+                                )
+                            else:
+                                predicting.append(state)
+                    if predicting:
                         report.max_batch_size = max(
-                            report.max_batch_size, len(active)
+                            report.max_batch_size, len(predicting)
                         )
-                        pool = pool + self._decide_tick(active, tick)
+                        pool = pool + self._decide_tick(predicting, tick)
                     ordered = self._schedule(pool, states, tick)
                     budget = self.tick_budget_frames
                     spent = 0

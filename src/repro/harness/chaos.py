@@ -23,15 +23,20 @@ from ..cloud import (
     StreamMarshaller,
 )
 from ..features import CovariatePipeline
+from ..ingest import IngestFaultInjector, IngestFaultPlan, StreamGuard
 from ..obs import log_info, span
 from .experiments import Experiment, ExperimentSettings, run_experiment
 
 __all__ = [
     "DEFAULT_FAULT_RATES",
     "DEFAULT_RETRY_POLICIES",
+    "DEFAULT_INGEST_FAULT_RATES",
+    "DEFAULT_IMPUTATIONS",
     "chaos_experiment",
     "chaos_marshaller",
+    "ingest_chaos_experiment",
     "run_chaos_cell",
+    "run_ingest_chaos_cell",
 ]
 
 #: Default raising-fault rates swept by the chaos harness.
@@ -43,6 +48,14 @@ DEFAULT_RETRY_POLICIES = (
     RetryPolicy(max_attempts=3),
     RetryPolicy(max_attempts=6),
 )
+
+#: Default ingest fault rates swept by the ingest chaos harness.
+DEFAULT_INGEST_FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+
+#: Default guard configurations swept per ingest fault rate.  ``"none"``
+#: is the unguarded baseline (corrupted features straight into the
+#: model); the rest name :data:`~repro.ingest.guard.IMPUTATION_POLICIES`.
+DEFAULT_IMPUTATIONS = ("none", "hold-last", "zero-fill", "linear-interp")
 
 
 def chaos_marshaller(
@@ -102,6 +115,111 @@ def run_chaos_cell(
         "breaker_opens": client.breaker.open_count,
         "billed_failures": injector.stats.billed_failures,
     }
+
+
+def run_ingest_chaos_cell(
+    marshaller: StreamMarshaller,
+    experiment: Experiment,
+    plan: IngestFaultPlan,
+    imputation: str = "hold-last",
+    quarantine_policy: str = "relay-all",
+    max_horizons: Optional[int] = None,
+) -> Dict[str, float]:
+    """One (plan, imputation) cell: corrupt the feed, guard it, marshal.
+
+    ``imputation="none"`` runs the corrupted features straight through the
+    unguarded loop — the baseline every guard policy is measured against
+    (NaN scores silently fail every threshold comparison, so this is how
+    recall collapses without a guard).
+    """
+    injector = IngestFaultInjector(plan)
+    features = injector.inject(experiment.data.test_features)
+    guard = (
+        None
+        if imputation == "none"
+        else StreamGuard(imputation=imputation, quarantine_policy=quarantine_policy)
+    )
+    service = CloudInferenceService(experiment.data.test_stream)
+    report = marshaller.run(
+        experiment.data.test_stream,
+        features,
+        service,
+        max_horizons=max_horizons,
+        guard=guard,
+    )
+    return {
+        "fault_rate": plan.total_rate,
+        "imputation": imputation,
+        "REC": report.frame_recall,
+        "REC_eff": report.effective_recall,
+        "cost": report.total_cost,
+        "frames_faulted": injector.stats.frames_faulted,
+        "frames_invalid": report.frames_invalid,
+        "frames_imputed": report.frames_imputed,
+        "voided": report.guarantee_voided_frames,
+        "quarantined": report.quarantined_frames,
+        "transitions": report.health_transitions,
+    }
+
+
+def ingest_chaos_experiment(
+    task,
+    fault_rates: Sequence[float] = DEFAULT_INGEST_FAULT_RATES,
+    imputations: Sequence[str] = DEFAULT_IMPUTATIONS,
+    settings: Optional[ExperimentSettings] = None,
+    base_plan: Optional[IngestFaultPlan] = None,
+    quarantine_policy: str = "relay-all",
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+    seed: int = 0,
+    max_horizons: Optional[int] = None,
+    experiment: Optional[Experiment] = None,
+) -> List[Dict[str, float]]:
+    """Sweep ingest fault rates × guard policies over one task's deployment.
+
+    The ingest mirror of :func:`chaos_experiment`: the CI stays perfect
+    and the *input* degrades.  One experiment backs the grid; each cell
+    rescales ``base_plan`` (default: a uniform plan seeded with ``seed``)
+    to the cell's total fault rate, corrupts the test features with it,
+    and runs marshalling — unguarded for ``"none"``, through a
+    :class:`~repro.ingest.guard.StreamGuard` otherwise.  Returns one row
+    dict per cell, ready for ``format_table``.
+    """
+    if experiment is None:
+        experiment = run_experiment(task, settings=settings)
+    if base_plan is None:
+        base_plan = IngestFaultPlan(seed=seed)
+    marshaller = chaos_marshaller(experiment, confidence=confidence, alpha=alpha)
+    rows: List[Dict[str, float]] = []
+    with span(
+        "chaos.ingest",
+        task=experiment.task.task_id,
+        cells=len(fault_rates) * len(imputations),
+    ):
+        for rate in fault_rates:
+            plan = base_plan.with_fault_rate(rate)
+            for imputation in imputations:
+                with span(
+                    "chaos.ingest_cell", fault_rate=rate, imputation=imputation
+                ):
+                    row = run_ingest_chaos_cell(
+                        marshaller,
+                        experiment,
+                        plan,
+                        imputation=imputation,
+                        quarantine_policy=quarantine_policy,
+                        max_horizons=max_horizons,
+                    )
+                rows.append(row)
+                log_info(
+                    "chaos.ingest_cell",
+                    fault_rate=rate,
+                    imputation=imputation,
+                    rec_eff=row["REC_eff"],
+                    voided=row["voided"],
+                    quarantined=row["quarantined"],
+                )
+    return rows
 
 
 def chaos_experiment(

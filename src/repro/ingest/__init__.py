@@ -1,0 +1,49 @@
+"""Ingest-path fault injection and graceful degradation.
+
+The mirror image of :mod:`repro.cloud`'s fault/resilience layer for the
+*input* side of the marshalling loop: a seeded, declarative
+:class:`IngestFaultPlan` corrupts feature streams the way real camera
+feeds fail (drops, freezes, NaN/Inf detector output, flapping, noise
+bursts, out-of-order delivery), and a :class:`StreamGuard` sanitizes the
+result — validation, pluggable imputation, and a per-stream
+``HEALTHY → DEGRADED → QUARANTINED → RECOVERING`` health state machine
+with hysteresis — so degraded input degrades the deployment gracefully
+instead of silently zeroing its recall and voiding its conformal
+guarantees.
+"""
+
+from .faults import (
+    INGEST_FAULT_KINDS,
+    IngestFaultInjector,
+    IngestFaultPlan,
+    IngestFaultStats,
+)
+from .guard import (
+    DEGRADED,
+    HEALTH_STATES,
+    HEALTHY,
+    IMPUTATION_POLICIES,
+    QUARANTINE_POLICIES,
+    QUARANTINED,
+    RECOVERING,
+    GuardConfig,
+    GuardedStream,
+    StreamGuard,
+)
+
+__all__ = [
+    "INGEST_FAULT_KINDS",
+    "IngestFaultPlan",
+    "IngestFaultStats",
+    "IngestFaultInjector",
+    "HEALTH_STATES",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
+    "RECOVERING",
+    "IMPUTATION_POLICIES",
+    "QUARANTINE_POLICIES",
+    "GuardConfig",
+    "GuardedStream",
+    "StreamGuard",
+]

@@ -100,6 +100,86 @@ class TestMerge:
         assert merged.frame_recall == pytest.approx((40 + 10 + 5) / 70)
         assert merged.effective_recall == pytest.approx((40 + 10) / 70)
 
+    def test_merge_sums_ingest_counters(self):
+        guarded = MarshallingReport(
+            frames_invalid=12,
+            frames_imputed=9,
+            guarantee_voided_frames=400,
+            quarantined_frames=200,
+            health_transitions=3,
+        )
+        merged = MarshallingReport.merged([guarded, guarded])
+        assert merged.frames_invalid == 24
+        assert merged.frames_imputed == 18
+        assert merged.guarantee_voided_frames == 800
+        assert merged.quarantined_frames == 400
+        assert merged.health_transitions == 6
+
+
+class TestZeroDenominators:
+    """No report ratio may raise or emit a numpy warning on empty books —
+    every zero-denominator case returns NaN, merge included."""
+
+    def test_empty_report_ratios_are_nan_not_errors(self):
+        report = MarshallingReport()
+        assert math.isnan(report.frame_recall)
+        assert math.isnan(report.effective_recall)
+        assert math.isnan(report.relay_fraction)
+
+    def test_no_events_but_frames_covered(self):
+        # A quiet stream: horizons ran, nothing was ever true.
+        report = MarshallingReport(
+            horizons_evaluated=4, frames_covered=800, frames_relayed=100
+        )
+        assert math.isnan(report.frame_recall)
+        assert math.isnan(report.effective_recall)
+        assert report.relay_fraction == pytest.approx(100 / 800)
+
+    def test_events_but_no_coverage(self):
+        # Degenerate accounting (e.g. only drained deferrals): recall is
+        # defined, relay_fraction is not.
+        report = MarshallingReport(true_event_frames=10, detected_event_frames=5)
+        assert report.frame_recall == pytest.approx(0.5)
+        assert math.isnan(report.relay_fraction)
+
+    def test_merging_empties_stays_nan(self):
+        merged = MarshallingReport.merged(
+            [MarshallingReport(), MarshallingReport()]
+        )
+        assert math.isnan(merged.frame_recall)
+        assert math.isnan(merged.effective_recall)
+        assert math.isnan(merged.relay_fraction)
+
+    def test_merging_empty_into_populated_keeps_ratios(self):
+        merged = report_a().merge(MarshallingReport())
+        assert merged.frame_recall == pytest.approx(40 / 50)
+        assert merged.relay_fraction == pytest.approx(120 / 600)
+
+    def test_cost_saving_defined_on_empty_report(self):
+        assert MarshallingReport().cost_saving_vs_brute_force(0.001) == 0.0
+
+    def test_fleet_rollup_of_empty_reports(self):
+        from collections import OrderedDict
+
+        from repro.fleet import FleetReport
+
+        report = FleetReport(
+            per_stream=OrderedDict(empty=MarshallingReport())
+        )
+        assert report.attributed_cost == 0.0
+        assert math.isnan(report.fleet.frame_recall)
+        d = report.to_dict()
+        assert d["num_streams"] == 1
+        assert math.isnan(d["fleet"]["frame_recall"])
+
+    def test_fleet_rollup_with_no_streams(self):
+        from repro.fleet import FleetReport
+
+        report = FleetReport()
+        assert report.num_streams == 0
+        assert report.attributed_cost == 0.0
+        assert math.isnan(report.fleet.effective_recall)
+
 
 class TestToDict:
     def test_single_serialization_path(self):
@@ -134,6 +214,17 @@ class TestToDict:
         assert d["segments_failed"] == 0
         assert d["frames_lost"] == 0
         assert d["effective_recall"] == d["frame_recall"]
+
+    def test_ingest_counters_serialized_and_zero_by_default(self):
+        d = MarshallingReport().to_dict()
+        for key in (
+            "frames_invalid",
+            "frames_imputed",
+            "guarantee_voided_frames",
+            "quarantined_frames",
+            "health_transitions",
+        ):
+            assert d[key] == 0
 
     def test_round_trips_through_merge(self):
         merged_dict = MarshallingReport.merged([report_a(), report_b()]).to_dict()

@@ -1,14 +1,18 @@
 """Tests for whole-model EventHit checkpointing."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import (
+    CheckpointError,
     EventHit,
     EventHitConfig,
     load_checkpoint,
     save_checkpoint,
 )
+from repro.core.checkpoint import _META_KEY
 
 
 def small_config(**kw):
@@ -64,6 +68,12 @@ class TestCheckpointRoundtrip:
         with pytest.raises(ValueError, match="not an EventHit checkpoint"):
             load_checkpoint(path)
 
+    def test_non_checkpoint_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
     def test_trained_model_survives(self, tmp_path):
         from repro.core import train_eventhit
         from tests.core.test_trainer import synthetic_records
@@ -103,3 +113,117 @@ class TestCheckpointRoundtrip:
         output_a = model.predict(calib.covariates)
         output_b = restored.predict(calib.covariates)
         np.testing.assert_allclose(a.p_values(output_a), b.p_values(output_b))
+
+
+def _rewrite_checkpoint(src, dst, mutate):
+    """Load ``src``'s raw entries, let ``mutate`` edit the dict, save ``dst``."""
+    with np.load(src) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    mutate(payload)
+    np.savez(dst, **payload)
+
+
+def _set_meta(payload, **updates):
+    meta = json.loads(bytes(payload[_META_KEY].tobytes()).decode("utf-8"))
+    meta.update(updates)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+
+
+class TestCheckpointHardening:
+    """A corrupted artifact must fail fast with CheckpointError — not load
+    a half-broken model that serves NaN scores."""
+
+    @pytest.fixture
+    def checkpoint(self, tmp_path):
+        model = EventHit(4, 2, config=small_config())
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        return path
+
+    def test_checkpoint_error_is_value_error(self):
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_unknown_format_version(self, checkpoint, tmp_path):
+        bad = tmp_path / "future.npz"
+        _rewrite_checkpoint(
+            checkpoint, bad, lambda p: _set_meta(p, format_version=99)
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(bad)
+
+    def test_garbled_metadata(self, checkpoint, tmp_path):
+        bad = tmp_path / "garbled.npz"
+
+        def garble(payload):
+            payload[_META_KEY] = np.frombuffer(
+                b"\xff\xfe not json", dtype=np.uint8
+            )
+
+        _rewrite_checkpoint(checkpoint, bad, garble)
+        with pytest.raises(CheckpointError, match="corrupted"):
+            load_checkpoint(bad)
+
+    def test_missing_parameter_tensor(self, checkpoint, tmp_path):
+        bad = tmp_path / "missing.npz"
+
+        def drop_one(payload):
+            name = next(k for k in payload if k != _META_KEY)
+            del payload[name]
+
+        _rewrite_checkpoint(checkpoint, bad, drop_one)
+        with pytest.raises(CheckpointError, match="architecture"):
+            load_checkpoint(bad)
+
+    def test_unexpected_parameter_tensor(self, checkpoint, tmp_path):
+        bad = tmp_path / "extra.npz"
+        _rewrite_checkpoint(
+            checkpoint,
+            bad,
+            lambda p: p.__setitem__("rogue.weight", np.zeros(3)),
+        )
+        with pytest.raises(CheckpointError, match="architecture"):
+            load_checkpoint(bad)
+
+    def test_shape_mismatched_tensor(self, checkpoint, tmp_path):
+        bad = tmp_path / "shape.npz"
+
+        def reshape_one(payload):
+            name = next(k for k in payload if k != _META_KEY)
+            payload[name] = np.zeros(payload[name].size + 1)
+
+        _rewrite_checkpoint(checkpoint, bad, reshape_one)
+        with pytest.raises(CheckpointError, match="architecture"):
+            load_checkpoint(bad)
+
+    def test_non_finite_parameters(self, checkpoint, tmp_path):
+        bad = tmp_path / "nan.npz"
+
+        def poison_one(payload):
+            name = next(k for k in payload if k != _META_KEY)
+            value = payload[name].copy().ravel()
+            value[0] = np.nan
+            payload[name] = value.reshape(payload[name].shape)
+
+        _rewrite_checkpoint(checkpoint, bad, poison_one)
+        with pytest.raises(CheckpointError, match="non-finite"):
+            load_checkpoint(bad)
+
+    def test_invalid_config_metadata(self, checkpoint, tmp_path):
+        bad = tmp_path / "config.npz"
+
+        def break_config(payload):
+            meta = json.loads(bytes(payload[_META_KEY].tobytes()).decode("utf-8"))
+            meta["config"]["window_size"] = -5
+            payload[_META_KEY] = np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            )
+
+        _rewrite_checkpoint(checkpoint, bad, break_config)
+        with pytest.raises(CheckpointError, match="metadata"):
+            load_checkpoint(bad)
+
+    def test_clean_checkpoint_still_loads(self, checkpoint):
+        model = load_checkpoint(checkpoint)
+        assert model.num_features == 4

@@ -5,13 +5,17 @@ import pytest
 from repro.cloud import BreakerConfig, FaultPlan, RetryPolicy
 from repro.harness import (
     DEFAULT_FAULT_RATES,
+    DEFAULT_IMPUTATIONS,
+    DEFAULT_INGEST_FAULT_RATES,
     DEFAULT_RETRY_POLICIES,
     ExperimentSettings,
     chaos_experiment,
     chaos_marshaller,
+    ingest_chaos_experiment,
     run_chaos_cell,
     run_experiment,
 )
+from repro.ingest import IngestFaultPlan
 
 FAST = ExperimentSettings(scale=0.05, max_records=100, epochs=2, seed=0)
 
@@ -41,6 +45,10 @@ class TestDefaults:
     def test_default_grid_starts_reliable(self):
         assert DEFAULT_FAULT_RATES[0] == 0.0
         assert [p.max_attempts for p in DEFAULT_RETRY_POLICIES] == [1, 3, 6]
+
+    def test_default_ingest_grid_starts_clean_with_baseline(self):
+        assert DEFAULT_INGEST_FAULT_RATES[0] == 0.0
+        assert DEFAULT_IMPUTATIONS[0] == "none"
 
 
 @pytest.mark.chaos
@@ -101,3 +109,76 @@ class TestChaosExperiment:
         assert row["fault_rate"] == pytest.approx(0.6)
         assert row["failed"] > 0
         assert row["retries"] == 0
+
+
+INGEST_ROW_KEYS = {
+    "fault_rate",
+    "imputation",
+    "REC",
+    "REC_eff",
+    "cost",
+    "frames_faulted",
+    "frames_invalid",
+    "frames_imputed",
+    "voided",
+    "quarantined",
+    "transitions",
+}
+
+
+@pytest.mark.chaos
+class TestIngestChaosExperiment:
+    def test_grid_shape_and_row_schema(self, experiment):
+        rows = ingest_chaos_experiment(
+            "TA10",
+            fault_rates=(0.0, 0.2),
+            imputations=("none", "hold-last"),
+            experiment=experiment,
+            max_horizons=3,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert set(row) == INGEST_ROW_KEYS
+
+    def test_zero_fault_cells_identical_across_policies(self, experiment):
+        rows = ingest_chaos_experiment(
+            "TA10",
+            fault_rates=(0.0,),
+            imputations=("none", "hold-last", "zero-fill"),
+            experiment=experiment,
+            max_horizons=3,
+        )
+        baseline = {
+            k: v for k, v in rows[0].items() if k != "imputation"
+        }
+        for row in rows[1:]:
+            assert {k: v for k, v in row.items() if k != "imputation"} == baseline
+        assert all(row["voided"] == 0 for row in rows)
+
+    def test_sweep_is_deterministic(self, experiment):
+        def run():
+            return ingest_chaos_experiment(
+                "TA10",
+                fault_rates=(0.2,),
+                imputations=("hold-last",),
+                base_plan=IngestFaultPlan(seed=5, stalls=((100, 160),)),
+                experiment=experiment,
+                max_horizons=3,
+            )
+
+        assert run() == run()
+
+    def test_guarded_cells_no_worse_than_unguarded(self, experiment):
+        import math
+
+        rows = ingest_chaos_experiment(
+            "TA10",
+            fault_rates=(0.2,),
+            imputations=("none", "hold-last"),
+            experiment=experiment,
+            seed=7,
+        )
+        unguarded, guarded = rows
+        assert guarded["frames_imputed"] > 0
+        if not math.isnan(unguarded["REC_eff"]):
+            assert guarded["REC_eff"] >= unguarded["REC_eff"]

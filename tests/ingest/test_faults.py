@@ -1,0 +1,222 @@
+"""Tests for the ingest-path fault injector and its declarative plan."""
+
+import numpy as np
+import pytest
+
+from repro.features.extractors import FeatureMatrix
+from repro.ingest import (
+    INGEST_FAULT_KINDS,
+    IngestFaultInjector,
+    IngestFaultPlan,
+)
+
+
+def features(frames=120, channels=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        rng.normal(size=(frames, channels)),
+        [f"c{i}" for i in range(channels)],
+    )
+
+
+class TestPlanValidation:
+    def test_defaults_are_empty(self):
+        plan = IngestFaultPlan()
+        assert plan.is_empty
+        assert plan.total_rate == 0.0
+
+    @pytest.mark.parametrize("kind", INGEST_FAULT_KINDS)
+    def test_rates_must_be_probabilities(self, kind):
+        with pytest.raises(ValueError):
+            IngestFaultPlan(**{f"{kind}_rate": 1.5})
+        with pytest.raises(ValueError):
+            IngestFaultPlan(**{f"{kind}_rate": -0.1})
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            IngestFaultPlan(drop_rate=0.6, corrupt_rate=0.6)
+
+    def test_invalid_stall_windows_rejected(self):
+        with pytest.raises(ValueError, match="stall"):
+            IngestFaultPlan(stalls=((10, 10),))
+        with pytest.raises(ValueError, match="stall"):
+            IngestFaultPlan(stalls=((-1, 5),))
+
+    def test_corrupt_dims_and_sigma_validated(self):
+        with pytest.raises(ValueError):
+            IngestFaultPlan(corrupt_dims=0)
+        with pytest.raises(ValueError):
+            IngestFaultPlan(noise_sigma=-1.0)
+
+    def test_stall_only_plan_is_not_empty(self):
+        assert not IngestFaultPlan(stalls=((5, 10),)).is_empty
+
+
+class TestPlanDerivation:
+    def test_uniform_spreads_evenly(self):
+        plan = IngestFaultPlan.uniform(0.25)
+        assert plan.total_rate == pytest.approx(0.25)
+        assert plan.drop_rate == pytest.approx(0.05)
+
+    def test_with_fault_rate_rescales_proportionally(self):
+        plan = IngestFaultPlan(drop_rate=0.3, noise_rate=0.1)
+        scaled = plan.with_fault_rate(0.2)
+        assert scaled.total_rate == pytest.approx(0.2)
+        assert scaled.drop_rate == pytest.approx(0.15)
+        assert scaled.noise_rate == pytest.approx(0.05)
+
+    def test_with_fault_rate_from_empty_spreads_evenly(self):
+        scaled = IngestFaultPlan().with_fault_rate(0.25)
+        assert scaled.total_rate == pytest.approx(0.25)
+        assert scaled.drop_rate == pytest.approx(0.05)
+
+    def test_rescale_preserves_seed_and_stalls(self):
+        plan = IngestFaultPlan(drop_rate=0.2, stalls=((3, 9),), seed=11)
+        scaled = plan.with_fault_rate(0.1)
+        assert scaled.seed == 11
+        assert scaled.stalls == ((3, 9),)
+
+
+class TestPlanSerialization:
+    def test_json_round_trip(self):
+        plan = IngestFaultPlan(
+            drop_rate=0.1,
+            corrupt_rate=0.05,
+            corrupt_dims=3,
+            noise_sigma=2.5,
+            stalls=((10, 40), (80, 90)),
+            seed=42,
+        )
+        assert IngestFaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            IngestFaultPlan.from_dict({"drop_rate": 0.1, "bogus": 1})
+
+    def test_stalls_serialize_as_lists(self):
+        plan = IngestFaultPlan(stalls=((1, 4),))
+        assert plan.to_dict()["stalls"] == [[1, 4]]
+
+
+class TestInjector:
+    def test_empty_plan_returns_same_object(self):
+        fm = features()
+        injector = IngestFaultInjector(IngestFaultPlan())
+        assert injector.inject(fm) is fm
+        assert injector.stats.frames_faulted == 0
+
+    def test_input_never_mutated(self):
+        fm = features()
+        before = fm.values.copy()
+        IngestFaultInjector(IngestFaultPlan.uniform(0.5, seed=1)).inject(fm)
+        np.testing.assert_array_equal(fm.values, before)
+
+    def test_deterministic_under_seed(self):
+        fm = features()
+        plan = IngestFaultPlan.uniform(0.3, seed=9)
+        a = IngestFaultInjector(plan).inject(fm)
+        b = IngestFaultInjector(plan).inject(fm)
+        np.testing.assert_array_equal(
+            np.isnan(a.values), np.isnan(b.values)
+        )
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_reset_replays_the_sequence(self):
+        fm = features()
+        injector = IngestFaultInjector(IngestFaultPlan.uniform(0.3, seed=4))
+        first = injector.inject(fm)
+        first_kinds = list(injector.frame_kinds)
+        injector.reset()
+        second = injector.inject(fm)
+        assert injector.frame_kinds == first_kinds
+        assert np.array_equal(first.values, second.values, equal_nan=True)
+
+    def test_different_seeds_differ(self):
+        fm = features()
+        a = IngestFaultInjector(IngestFaultPlan.uniform(0.3, seed=0)).inject(fm)
+        b = IngestFaultInjector(IngestFaultPlan.uniform(0.3, seed=1)).inject(fm)
+        assert not np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_drop_and_flap_blank_whole_frames(self):
+        fm = features()
+        injector = IngestFaultInjector(IngestFaultPlan(drop_rate=0.5, seed=2))
+        out = injector.inject(fm)
+        dropped = [i for i, k in enumerate(injector.frame_kinds) if k == "drop"]
+        assert dropped
+        assert np.isnan(out.values[dropped]).all()
+        clean = [i for i, k in enumerate(injector.frame_kinds) if k == ""]
+        np.testing.assert_array_equal(out.values[clean], fm.values[clean])
+
+    def test_corrupt_poisons_exactly_k_dims(self):
+        fm = features(channels=8)
+        plan = IngestFaultPlan(corrupt_rate=0.5, corrupt_dims=3, seed=5)
+        injector = IngestFaultInjector(plan)
+        out = injector.inject(fm)
+        corrupted = [
+            i for i, k in enumerate(injector.frame_kinds) if k == "corrupt"
+        ]
+        assert corrupted
+        for frame in corrupted:
+            assert (~np.isfinite(out.values[frame])).sum() == 3
+        assert injector.stats.values_corrupted == 3 * len(corrupted)
+
+    def test_noise_keeps_frames_finite(self):
+        fm = features()
+        injector = IngestFaultInjector(
+            IngestFaultPlan(noise_rate=0.5, noise_sigma=10.0, seed=6)
+        )
+        out = injector.inject(fm)
+        noisy = [i for i, k in enumerate(injector.frame_kinds) if k == "noise"]
+        assert noisy
+        assert np.isfinite(out.values[noisy]).all()
+        assert not np.array_equal(out.values[noisy], fm.values[noisy])
+
+    def test_late_swaps_adjacent_frames(self):
+        fm = features()
+        injector = IngestFaultInjector(IngestFaultPlan(late_rate=0.3, seed=7))
+        out = injector.inject(fm)
+        late = [
+            i
+            for i, k in enumerate(injector.frame_kinds)
+            if k == "late" and i + 1 < fm.num_frames
+            # an isolated swap: neither neighbour was itself faulted
+            and injector.frame_kinds[i + 1] == ""
+        ]
+        assert late
+        frame = late[0]
+        np.testing.assert_array_equal(out.values[frame], fm.values[frame + 1])
+
+    def test_stall_windows_repeat_last_live_frame(self):
+        fm = features()
+        injector = IngestFaultInjector(IngestFaultPlan(stalls=((20, 35),)))
+        out = injector.inject(fm)
+        for frame in range(20, 35):
+            np.testing.assert_array_equal(out.values[frame], fm.values[19])
+        assert injector.stats.frames_stalled == 15
+        assert injector.frame_kinds[20] == "stall"
+
+    def test_stall_past_stream_end_clamped(self):
+        fm = features(frames=30)
+        injector = IngestFaultInjector(IngestFaultPlan(stalls=((25, 99), (50, 60))))
+        out = injector.inject(fm)
+        assert injector.stats.frames_stalled == 5
+        np.testing.assert_array_equal(out.values[29], fm.values[24])
+
+    def test_stats_books_match_frame_kinds(self):
+        fm = features(frames=300)
+        injector = IngestFaultInjector(
+            IngestFaultPlan.uniform(0.4, seed=8, stalls=((100, 120),))
+        )
+        injector.inject(fm)
+        stats = injector.stats
+        kinds = injector.frame_kinds
+        assert stats.frames == 300
+        assert stats.frames_dropped == kinds.count("drop")
+        assert stats.frames_flapped == kinds.count("flap")
+        assert stats.frames_corrupted == kinds.count("corrupt")
+        assert stats.noise_bursts == kinds.count("noise")
+        assert stats.frames_late == kinds.count("late")
+        assert stats.frames_stalled == kinds.count("stall") == 20
+        assert stats.frames_faulted == sum(1 for k in kinds if k)
+        as_dict = stats.as_dict()
+        assert as_dict["frames_faulted"] == stats.frames_faulted

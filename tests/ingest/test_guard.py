@@ -1,0 +1,277 @@
+"""Tests for StreamGuard: validation, imputation, and the health FSM."""
+
+import numpy as np
+import pytest
+
+from repro.features.extractors import FeatureMatrix
+from repro.ingest import (
+    DEGRADED,
+    HEALTH_STATES,
+    HEALTHY,
+    QUARANTINED,
+    RECOVERING,
+    GuardConfig,
+    StreamGuard,
+)
+
+
+def features(frames=100, channels=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return FeatureMatrix(
+        rng.normal(size=(frames, channels)),
+        [f"c{i}" for i in range(channels)],
+    )
+
+
+def poison(fm, frames):
+    values = fm.values.copy()
+    values[list(frames)] = np.nan
+    return FeatureMatrix(values, list(fm.channel_names))
+
+
+class TestGuardConfig:
+    def test_hysteresis_ordering_enforced(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            GuardConfig(degrade_rate=0.1, recover_rate=0.1)
+        with pytest.raises(ValueError, match="hysteresis"):
+            GuardConfig(degrade_rate=0.5, quarantine_rate=0.4)
+
+    def test_json_round_trip(self):
+        config = GuardConfig(window=20, max_gap=5, expected_dim=7)
+        assert GuardConfig.from_json(config.to_json()) == config
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            GuardConfig.from_dict({"window": 5, "bogus": 1})
+
+    def test_basic_bounds(self):
+        with pytest.raises(ValueError):
+            GuardConfig(window=0)
+        with pytest.raises(ValueError):
+            GuardConfig(max_gap=0)
+        with pytest.raises(ValueError):
+            GuardConfig(expected_dim=0)
+
+
+class TestGuardValidation:
+    def test_invalid_policy_names_rejected(self):
+        with pytest.raises(ValueError, match="imputation"):
+            StreamGuard(imputation="magic")
+        with pytest.raises(ValueError, match="quarantine_policy"):
+            StreamGuard(quarantine_policy="explode")
+
+    def test_dimension_check(self):
+        guard = StreamGuard(config=GuardConfig(expected_dim=9))
+        with pytest.raises(ValueError, match="dimension"):
+            guard.sanitize(features(channels=4))
+
+    def test_clean_stream_returns_same_object(self):
+        fm = features()
+        guarded = StreamGuard().sanitize(fm)
+        assert guarded.features is fm
+        assert not guarded.any_invalid
+        assert guarded.num_imputed == 0
+        assert guarded.transitions == []
+        assert (guarded.health == HEALTHY).all()
+
+    def test_nonfinite_frames_flagged(self):
+        fm = poison(features(), [5, 6, 50])
+        guarded = StreamGuard().sanitize(fm)
+        assert guarded.num_invalid == 3
+        assert guarded.nonfinite[5] and guarded.nonfinite[50]
+        assert not guarded.nonfinite[4]
+        assert np.isfinite(guarded.features.values).all()
+
+    def test_inf_counts_as_nonfinite(self):
+        fm = features()
+        values = fm.values.copy()
+        values[7, 2] = np.inf
+        guarded = StreamGuard().sanitize(
+            FeatureMatrix(values, list(fm.channel_names))
+        )
+        assert guarded.nonfinite[7]
+
+    def test_stale_run_flagged_after_threshold(self):
+        fm = features(frames=80)
+        values = fm.values.copy()
+        values[20:50] = values[19]  # frozen camera: 30 bitwise repeats
+        guarded = StreamGuard(
+            config=GuardConfig(stale_after=12)
+        ).sanitize(FeatureMatrix(values, list(fm.channel_names)))
+        # The run starts at live frame 19; repeats within the tolerance
+        # window (run position < stale_after) pass, later ones are stale.
+        assert not guarded.stale[19 + 11]
+        assert guarded.stale[19 + 12]
+        assert guarded.stale[49]
+        assert not guarded.stale[50]
+
+    def test_nan_frames_do_not_count_as_stale(self):
+        fm = poison(features(), range(10, 40))
+        guarded = StreamGuard(
+            config=GuardConfig(stale_after=3)
+        ).sanitize(fm)
+        assert not guarded.stale[10:40].any()
+        assert guarded.nonfinite[10:40].all()
+
+
+class TestImputation:
+    def test_hold_last_repeats_last_valid(self):
+        fm = poison(features(), [10, 11, 12])
+        guarded = StreamGuard(imputation="hold-last").sanitize(fm)
+        for frame in (10, 11, 12):
+            np.testing.assert_array_equal(
+                guarded.features.values[frame], fm.values[9]
+            )
+        assert guarded.imputed[10:13].all()
+        assert not guarded.imputed[9]
+
+    def test_zero_fill(self):
+        fm = poison(features(), [4])
+        guarded = StreamGuard(imputation="zero-fill").sanitize(fm)
+        np.testing.assert_array_equal(
+            guarded.features.values[4], np.zeros(fm.num_channels)
+        )
+
+    def test_linear_interp_bridges_the_gap(self):
+        fm = poison(features(), [20, 21])
+        guarded = StreamGuard(imputation="linear-interp").sanitize(fm)
+        lo, hi = fm.values[19], fm.values[22]
+        np.testing.assert_allclose(
+            guarded.features.values[20], lo + (hi - lo) / 3
+        )
+        np.testing.assert_allclose(
+            guarded.features.values[21], lo + 2 * (hi - lo) / 3
+        )
+
+    def test_leading_gap_zero_fills_under_hold_last(self):
+        fm = poison(features(), [0, 1])
+        guarded = StreamGuard(imputation="hold-last").sanitize(fm)
+        np.testing.assert_array_equal(
+            guarded.features.values[0], np.zeros(fm.num_channels)
+        )
+
+    def test_valid_frames_bitwise_untouched(self):
+        fm = poison(features(), [30])
+        for policy in ("hold-last", "zero-fill", "linear-interp"):
+            guarded = StreamGuard(imputation=policy).sanitize(fm)
+            valid = ~guarded.invalid
+            np.testing.assert_array_equal(
+                guarded.features.values[valid], fm.values[valid]
+            )
+
+
+class TestHealthStateMachine:
+    CONFIG = GuardConfig(
+        window=10,
+        degrade_rate=0.2,
+        quarantine_rate=0.5,
+        recover_rate=0.05,
+        recovery_frames=5,
+        max_gap=4,
+        stale_after=12,
+    )
+
+    def sanitize(self, fm):
+        return StreamGuard(config=self.CONFIG).sanitize(fm)
+
+    def test_isolated_blip_stays_healthy(self):
+        guarded = self.sanitize(poison(features(frames=60), [30]))
+        assert (guarded.health != QUARANTINED).all()
+        # One bad frame in a 10-window is 10% < degrade_rate.
+        assert guarded.state_at(30) in (HEALTHY, DEGRADED)
+        assert guarded.state_at(59) == HEALTHY
+
+    def test_long_gap_quarantines_immediately(self):
+        guarded = self.sanitize(poison(features(frames=60), range(20, 26)))
+        # Gap of 6 > max_gap=4: quarantined inside the gap.
+        assert guarded.state_at(25) == QUARANTINED
+
+    def test_quarantine_recovers_through_recovering(self):
+        guarded = self.sanitize(poison(features(frames=120), range(20, 30)))
+        assert guarded.state_at(29) == QUARANTINED
+        states = {guarded.state_at(frame) for frame in range(30, 120)}
+        assert RECOVERING in states
+        assert guarded.state_at(119) == HEALTHY
+        names = [(old, new) for _, old, new in guarded.transitions]
+        assert ("QUARANTINED", "RECOVERING") in names
+        assert ("RECOVERING", "HEALTHY") in names
+
+    def test_relapse_during_recovery_requarantines(self):
+        bad = list(range(20, 30))
+        # One more invalid frame right after RECOVERING begins.
+        guarded = self.sanitize(poison(features(frames=120), bad + [42]))
+        names = [(old, new) for _, old, new in guarded.transitions]
+        if guarded.state_at(41) == RECOVERING:
+            assert ("RECOVERING", "QUARANTINED") in names
+
+    def test_degraded_needs_hysteresis_to_recover(self):
+        # 3 invalid of 10 = 30% >= degrade_rate → DEGRADED; healthy again
+        # only once the windowed rate falls to <= recover_rate (5%).
+        guarded = self.sanitize(poison(features(frames=80), [20, 22, 24]))
+        assert DEGRADED in {guarded.state_at(f) for f in range(20, 30)}
+        assert guarded.state_at(26) == DEGRADED  # rate back under degrade
+        assert guarded.state_at(79) == HEALTHY
+
+    def test_transitions_recorded_in_order(self):
+        guarded = self.sanitize(poison(features(frames=120), range(20, 30)))
+        frames = [frame for frame, _, _ in guarded.transitions]
+        assert frames == sorted(frames)
+        for _, old, new in guarded.transitions:
+            assert old in HEALTH_STATES and new in HEALTH_STATES
+            assert old != new
+
+
+class TestGuardedStreamQueries:
+    def test_prefix_counts_match_masks(self):
+        fm = poison(features(frames=90), [3, 10, 11, 40, 41, 42, 80])
+        guarded = StreamGuard().sanitize(fm)
+        for start, stop in ((0, 90), (10, 12), (40, 43), (43, 80), (85, 99)):
+            assert guarded.invalid_count(start, stop) == int(
+                guarded.invalid[max(0, start) : min(90, stop)].sum()
+            )
+            assert guarded.imputed_count(start, stop) == int(
+                guarded.imputed[max(0, start) : min(90, stop)].sum()
+            )
+
+    def test_ranges_clip_and_empty(self):
+        guarded = StreamGuard().sanitize(poison(features(frames=50), [0]))
+        assert guarded.invalid_count(-10, 5) == 1
+        assert guarded.invalid_count(40, 400) == 0
+        assert guarded.invalid_count(30, 30) == 0
+        assert guarded.invalid_count(30, 10) == 0
+
+    def test_transitions_in_counts_window(self):
+        config = TestHealthStateMachine.CONFIG
+        guarded = StreamGuard(config=config).sanitize(
+            poison(features(frames=120), range(20, 30))
+        )
+        total = len(guarded.transitions)
+        assert guarded.transitions_in(0, 120) == total
+        assert guarded.transitions_in(0, 20) == 0
+
+    def test_state_at_clamps(self):
+        guarded = StreamGuard().sanitize(features(frames=40))
+        assert guarded.state_at(-5) == HEALTHY
+        assert guarded.state_at(1000) == HEALTHY
+        assert guarded.health_at(0) == "HEALTHY"
+
+
+class TestGuardStatelessness:
+    def test_one_guard_serves_many_streams(self):
+        guard = StreamGuard()
+        dirty = poison(features(seed=1), range(10, 30))
+        clean = features(seed=2)
+        guarded_dirty = guard.sanitize(dirty)
+        guarded_clean = guard.sanitize(clean)
+        # The dirty stream's history must not leak into the clean one.
+        assert guarded_clean.features is clean
+        assert (guarded_clean.health == HEALTHY).all()
+        assert guarded_dirty.any_invalid
+
+    def test_sanitize_is_reproducible(self):
+        guard = StreamGuard()
+        fm = poison(features(), range(20, 40))
+        a, b = guard.sanitize(fm), guard.sanitize(fm)
+        np.testing.assert_array_equal(a.features.values, b.features.values)
+        assert a.transitions == b.transitions
+        np.testing.assert_array_equal(a.health, b.health)

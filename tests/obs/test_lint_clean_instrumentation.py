@@ -209,3 +209,144 @@ def test_recurrent_loop_scan_catches_planted_violation(tmp_path):
     assert len(hits) == 2
     assert "hot.py:5" in hits[0]
     assert "hot.py:7" in hits[1]
+
+
+# ----------------------------------------------------------------------
+# Ingest modules: detect bad values, never silence them
+# ----------------------------------------------------------------------
+# The whole point of repro/ingest is that NaN/Inf in a feature stream is
+# *signal* — it drives imputation accounting, guarantee voiding, and the
+# health state machine.  Blanket float-error suppression or silent
+# NaN-rewriting in those modules would launder corrupted frames into
+# plausible numbers with no book entry, so:
+#
+# * ``np.seterr(`` is banned everywhere in src/repro — it mutates global
+#   numpy state far beyond the caller (``np.errstate`` scopes it).
+# * In ``src/repro/ingest/`` specifically, ``errstate(..., divide=
+#   'ignore')`` / ``invalid='ignore'`` and ``np.nan_to_num(`` are banned:
+#   the guard must count and impute invalid values explicitly, not
+#   suppress the warnings or rewrite them wholesale.
+
+INGEST_SUBDIR = "ingest"
+_SUPPRESSION_KINDS = ("divide", "invalid")
+
+
+def _call_token_slice(tokens, open_paren_index):
+    """Indices of the tokens inside the call opening at ``tokens[i]``."""
+    depth = 0
+    for i in range(open_paren_index, len(tokens)):
+        if tokens[i].string in "([{":
+            depth += 1
+        elif tokens[i].string in ")]}":
+            depth -= 1
+            if depth == 0:
+                return range(open_paren_index + 1, i)
+    return range(open_paren_index + 1, len(tokens))
+
+
+def scan_error_suppression(path, root=None):
+    """np.seterr / errstate-ignore / nan_to_num violations in one file.
+
+    ``np.seterr(`` is flagged in any module; the errstate-ignore and
+    ``nan_to_num`` rules only apply inside ``src/repro/ingest/``.
+    """
+    root = root or SRC_ROOT.parent
+    rel = path.relative_to(root) if path.is_relative_to(root) else path
+    in_ingest = INGEST_SUBDIR in path.parent.parts
+    with open(path, "rb") as handle:
+        tokens = [
+            tok
+            for tok in tokenize.tokenize(handle.readline)
+            if tok.type in (tokenize.NAME, tokenize.OP, tokenize.STRING)
+        ]
+    found = []
+    for i, tok in enumerate(tokens):
+        if tok.type != tokenize.NAME:
+            continue
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        if nxt is None or nxt.string != "(":
+            continue
+        if tok.string == "seterr":
+            found.append(
+                f"{rel}:{tok.start[0]}: np.seterr( mutates global numpy "
+                "error state — use a scoped np.errstate block"
+            )
+            continue
+        if not in_ingest:
+            continue
+        if tok.string == "nan_to_num":
+            found.append(
+                f"{rel}:{tok.start[0]}: np.nan_to_num( in an ingest module "
+                "— invalid values must be counted and imputed by the "
+                "guard, not silently rewritten"
+            )
+            continue
+        if tok.string == "errstate":
+            body = _call_token_slice(tokens, i + 1)
+            for j in body:
+                if (
+                    tokens[j].type == tokenize.NAME
+                    and tokens[j].string in _SUPPRESSION_KINDS
+                    and j + 2 < len(tokens)
+                    and tokens[j + 1].string == "="
+                    and tokens[j + 2].type == tokenize.STRING
+                    and "ignore" in tokens[j + 2].string
+                ):
+                    found.append(
+                        f"{rel}:{tok.start[0]}: errstate("
+                        f"{tokens[j].string}='ignore') in an ingest module "
+                        "— bad values are signal there; detect and "
+                        "account for them instead"
+                    )
+                    break
+    return found
+
+
+def test_src_has_no_error_suppression():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        violations.extend(scan_error_suppression(path))
+    assert not violations, "\n".join(violations)
+
+
+def test_error_suppression_scan_catches_planted_violations(tmp_path):
+    ingest_dir = tmp_path / "ingest"
+    ingest_dir.mkdir()
+    planted = ingest_dir / "bad.py"
+    planted.write_text(
+        '"""np.seterr( and nan_to_num( in a docstring are fine."""\n'
+        "import numpy as np\n"
+        "np.seterr(all='ignore')\n"
+        "clean = np.nan_to_num(values)\n"
+        "with np.errstate(divide='ignore'):\n"
+        "    pass\n"
+        "with np.errstate(invalid='ignore', over='warn'):\n"
+        "    pass\n"
+        "with np.errstate(over='ignore'):\n"  # not divide/invalid: allowed
+        "    pass\n"
+        "with np.errstate(divide='warn'):\n"  # not 'ignore': allowed
+        "    pass\n"
+    )
+    hits = scan_error_suppression(planted, root=tmp_path)
+    assert len(hits) == 4
+    assert "bad.py:3" in hits[0] and "seterr" in hits[0]
+    assert "bad.py:4" in hits[1] and "nan_to_num" in hits[1]
+    assert "bad.py:5" in hits[2] and "divide" in hits[2]
+    assert "bad.py:7" in hits[3] and "invalid" in hits[3]
+
+
+def test_error_suppression_rules_scoped_outside_ingest(tmp_path):
+    """Outside ingest/, only np.seterr is banned — errstate-ignore and
+    nan_to_num are legitimate in numeric kernels."""
+    planted = tmp_path / "kernel.py"
+    planted.write_text(
+        "import numpy as np\n"
+        "with np.errstate(divide='ignore', invalid='ignore'):\n"
+        "    out = np.nan_to_num(a / b)\n"
+        "np.seterr(all='ignore')\n"
+    )
+    hits = scan_error_suppression(planted, root=tmp_path)
+    assert len(hits) == 1
+    assert "seterr" in hits[0]
+
+

@@ -149,6 +149,53 @@ class TestChaosCommand:
         assert code == 0
         assert "fault_rate" in text
 
+    def test_ingest_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.ingest is False
+        assert args.ingest_fault_rates == "0,0.05,0.1,0.2"
+        assert args.imputation == "none,hold-last,zero-fill,linear-interp"
+        assert args.quarantine_policy == "relay-all"
+
+    def test_rejects_unknown_quarantine_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--quarantine-policy", "panic"])
+
+    @pytest.mark.chaos
+    def test_ingest_sweep_renders_table(self):
+        code, text = run_cli(
+            ["chaos", "--task", "TA10", "--ingest",
+             "--ingest-fault-rates", "0,0.2",
+             "--imputation", "none,hold-last", "--max-horizons", "2",
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        assert "imputation" in text and "REC_eff" in text
+        assert "voided" in text and "quarantined" in text
+        assert "hold-last" in text
+
+    @pytest.mark.chaos
+    def test_ingest_fault_plan_round_trip(self, tmp_path):
+        plan_path = tmp_path / "ingest_plan.json"
+        code, _ = run_cli(
+            ["chaos", "--task", "TA10", "--ingest",
+             "--ingest-fault-rates", "0", "--imputation", "none",
+             "--max-horizons", "1", "--seed", "13",
+             "--ingest-fault-plan-out", str(plan_path),
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        payload = json.loads(plan_path.read_text())
+        assert payload["seed"] == 13
+        code, text = run_cli(
+            ["chaos", "--task", "TA10", "--ingest",
+             "--ingest-fault-rates", "0.1", "--imputation", "hold-last",
+             "--max-horizons", "1",
+             "--ingest-fault-plan", str(plan_path),
+             "--scale", "0.05", "--epochs", "2", "--records", "120"]
+        )
+        assert code == 0
+        assert "fault_rate" in text
+
 
 class TestFleetCommand:
     def test_parser_defaults(self):

@@ -1,0 +1,104 @@
+"""Property-based tests for segment algebra.
+
+``StreamSegment.intersect`` and ``merge_segments`` are the primitives the
+relay path's billing and recall accounting stand on; Hypothesis pins the
+algebraic laws (idempotence, commutativity, frame conservation, pairwise
+disjointness) that example-based tests cannot exhaust.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import merge_segments
+from repro.video import StreamSegment
+
+
+@st.composite
+def segments(draw, max_frame=200):
+    start = draw(st.integers(min_value=0, max_value=max_frame))
+    length = draw(st.integers(min_value=0, max_value=max_frame))
+    return StreamSegment(start, start + length)
+
+
+segment_lists = st.lists(segments(), min_size=0, max_size=12)
+
+
+def frames_of(segs):
+    covered = set()
+    for seg in segs:
+        covered.update(seg.frames())
+    return covered
+
+
+class TestIntersectProperties:
+    @given(segments(), segments())
+    def test_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(segments())
+    def test_idempotent(self, a):
+        assert a.intersect(a) == a
+
+    @given(segments(), segments())
+    def test_result_contained_in_both(self, a, b):
+        result = a.intersect(b)
+        if result is not None:
+            assert a.start <= result.start <= result.end <= a.end
+            assert b.start <= result.start <= result.end <= b.end
+
+    @given(segments(), segments())
+    def test_none_iff_frame_sets_disjoint(self, a, b):
+        result = a.intersect(b)
+        shared = set(a.frames()) & set(b.frames())
+        if result is None:
+            assert not shared
+        else:
+            assert set(result.frames()) == shared
+
+    @given(segments(), segments(), segments())
+    @settings(max_examples=50)
+    def test_associative(self, a, b, c):
+        def chain(x, y, z):
+            first = x.intersect(y)
+            return None if first is None else first.intersect(z)
+
+        assert chain(a, b, c) == chain(c, b, a)
+
+
+class TestMergeSegmentsProperties:
+    @given(segment_lists)
+    def test_frame_conservation(self, segs):
+        assert frames_of(merge_segments(segs)) == frames_of(segs)
+
+    @given(segment_lists)
+    def test_idempotent(self, segs):
+        once = merge_segments(segs)
+        assert merge_segments(once) == once
+
+    @given(segment_lists)
+    def test_permutation_invariant(self, segs):
+        assert merge_segments(list(reversed(segs))) == merge_segments(segs)
+
+    @given(segment_lists)
+    def test_output_sorted_disjoint_non_adjacent(self, segs):
+        merged = merge_segments(segs)
+        for before, after in zip(merged, merged[1:]):
+            # Strictly ordered with a real gap: adjacent inputs must have
+            # coalesced, so consecutive outputs are separated by >= 1
+            # uncovered frame.
+            assert before.end + 1 < after.start
+
+    @given(segment_lists)
+    def test_never_bills_more_frames_than_input(self, segs):
+        merged = merge_segments(segs)
+        assert sum(s.num_frames for s in merged) <= sum(
+            s.num_frames for s in segs
+        ) or not segs
+        assert sum(s.num_frames for s in merged) == len(frames_of(segs))
+
+    @given(segments())
+    def test_singleton_fixed_point(self, seg):
+        assert merge_segments([seg]) == [seg]
+
+    def test_empty_input(self):
+        assert merge_segments([]) == []
