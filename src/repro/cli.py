@@ -20,6 +20,8 @@ reachable from the shell::
         --ingest-fault-rates 0,0.1,0.2 --imputation none,hold-last
     python -m repro.cli fleet --task TA10 --streams 8 --scheduler deadline
     python -m repro.cli fleet --task TA10 --fleet-sizes 1,4,16   # sweep
+    python -m repro.cli watch --task TA10 --streams 4 --fault-rate 0.2
+    python -m repro.cli slo --from timeseries.json --spec slos.json
 
 All experiment-backed commands accept ``--scale/--epochs/--records/--seed``
 to size the synthetic workload, plus the observability flags
@@ -32,11 +34,18 @@ metrics registry plus the §VI.H per-stage time shares.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from . import obs
-from .cloud import BreakerConfig, FaultPlan, RetryPolicy
+from .cloud import (
+    BreakerConfig,
+    FaultInjector,
+    FaultPlan,
+    ResilientCIClient,
+    RetryPolicy,
+)
 from .fleet import SCHEDULERS, FleetCIService
 from .ingest import IngestFaultPlan
 from .harness import (
@@ -86,6 +95,13 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="stream span records to FILE as JSON lines "
         "(implies instrumentation on)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="dump the metrics registry to FILE (JSON) on shutdown — "
+        "flushed even if the run dies (implies instrumentation on)",
     )
 
 
@@ -161,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="FILE",
                 help="render a previously saved --json-out snapshot "
                 "instead of running an evaluation",
+            )
+            cmd.add_argument(
+                "--prom-out",
+                default=None,
+                metavar="FILE",
+                help="also write the registry in Prometheus "
+                "text-exposition format to FILE",
             )
 
     chaos = sub.add_parser(
@@ -277,6 +300,76 @@ def build_parser() -> argparse.ArgumentParser:
                        help="horizons marshalled per stream")
     fleet.add_argument("--confidence", type=float, default=0.9)
     fleet.add_argument("--alpha", type=float, default=0.9)
+
+    watch = sub.add_parser(
+        "watch",
+        help="top-style live telemetry dashboard over a fleet run "
+        "(optionally fault-injected): backpressure gauges, per-tick "
+        "rates, SLO burn rates, flight-recorder trips",
+    )
+    _add_experiment_args(watch, "TA10")
+    watch.add_argument("--streams", type=int, default=4)
+    watch.add_argument(
+        "--scheduler",
+        default="round-robin",
+        choices=sorted(SCHEDULERS),
+    )
+    watch.add_argument("--budget-frames", type=int, default=None, metavar="N",
+                       help="global per-tick relay budget in frames")
+    watch.add_argument("--max-horizons", type=int, default=12,
+                       help="horizons marshalled per stream")
+    watch.add_argument("--confidence", type=float, default=0.9)
+    watch.add_argument("--alpha", type=float, default=0.9)
+    watch.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="CI raising-fault rate; >0 wraps the service in a fault "
+        "injector + resilient client (chaos mode)",
+    )
+    watch.add_argument(
+        "--failure-policy",
+        default="defer",
+        choices=["raise", "skip", "defer"],
+        help="marshaller fallback once retries are exhausted (chaos mode)",
+    )
+    watch.add_argument("--refresh-ticks", type=int, default=1, metavar="N",
+                       help="redraw the dashboard every N ticks")
+    watch.add_argument(
+        "--plain",
+        action="store_true",
+        help="no ANSI colour/clear codes: append one frame per redraw "
+        "(for logs, CI artifacts, and tests)",
+    )
+    watch.add_argument(
+        "--slo-spec",
+        default=None,
+        metavar="FILE",
+        help="JSON list of SLOSpec objects (default: built-in fleet SLOs)",
+    )
+    watch.add_argument("--history", type=int, default=240, metavar="TICKS",
+                       help="time-series ring capacity")
+    watch.add_argument("--timeseries-out", default=None, metavar="FILE",
+                       help="dump the sampled time series as JSON")
+    watch.add_argument("--flight-out", default=None, metavar="FILE",
+                       help="dump the flight recorder as JSON")
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO specs offline against a time-series dump "
+        "(watch --timeseries-out) or a metrics snapshot "
+        "(--metrics-out / metrics --json-out)",
+    )
+    slo.add_argument("--from", dest="from_file", required=True,
+                     metavar="FILE", help="telemetry dump to evaluate")
+    slo.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="JSON list of SLOSpec objects (default: built-in fleet SLOs)",
+    )
+    slo.add_argument("--json-out", default=None, metavar="FILE",
+                     help="also write timeline + final states as JSON")
     return parser
 
 
@@ -334,6 +427,9 @@ def _run_metrics(args: argparse.Namespace, out) -> None:
         snapshot = obs.get_registry().snapshot()
         if args.json_out is not None:
             obs.write_metrics_json(args.json_out)
+    if args.prom_out is not None:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.render_prometheus(snapshot=snapshot))
     print(obs.render_registry(snapshot=snapshot), file=out)
     print(file=out)
     print("== stage time shares (analytic timing model) ==", file=out)
@@ -467,6 +563,195 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
         print(f"{key}: {summary[key]}", file=out)
 
 
+def _run_watch(args: argparse.Namespace, out) -> None:
+    """Live telemetry dashboard over one (optionally fault-injected) fleet run."""
+    obs.configure(enabled=True)
+    obs.get_registry().reset()
+    store = obs.TimeSeriesStore(capacity=args.history)
+    obs.set_timeseries(store)
+    recorder = obs.FlightRecorder()
+    obs.set_flight_recorder(recorder)
+    specs = (
+        obs.load_slo_specs(args.slo_spec)
+        if args.slo_spec is not None
+        else obs.default_fleet_slos()
+    )
+    board = obs.set_slo_specs(specs)
+
+    experiment = run_experiment(args.task, settings=_settings(args))
+    fleet = fleet_marshaller(
+        experiment,
+        confidence=args.confidence,
+        alpha=args.alpha,
+        scheduler=args.scheduler,
+        tick_budget_frames=args.budget_frames,
+    )
+    lanes = build_fleet_lanes(experiment, args.streams, seed=args.seed)
+    service = FleetCIService([lane.stream for lane in lanes])
+    failure_policy = "raise"
+    if args.fault_rate > 0:
+        plan = FaultPlan(seed=args.seed).with_failure_rate(args.fault_rate)
+        service = ResilientCIClient(
+            FaultInjector(service, plan), policy=RetryPolicy(seed=args.seed)
+        )
+        failure_policy = args.failure_policy
+
+    refresh = max(1, args.refresh_ticks)
+    title = f"repro watch | {args.task} | {args.streams} streams"
+
+    def redraw(tick: int) -> None:
+        if tick % refresh:
+            return
+        frame = obs.render_dashboard(
+            store,
+            board=board,
+            flight=recorder,
+            tick=tick,
+            title=title,
+            color=not args.plain,
+        )
+        if args.plain:
+            out.write(frame + "\n\n")
+        else:
+            out.write("\x1b[2J\x1b[H" + frame + "\n")
+        flush = getattr(out, "flush", None)
+        if flush is not None:
+            flush()
+
+    report = fleet.run(
+        lanes,
+        service,
+        max_horizons=args.max_horizons,
+        failure_policy=failure_policy,
+        on_tick=redraw,
+    )
+
+    # Final still frame (covers refresh strides that skipped the last tick)
+    # plus the run summary and the SLO alert timeline.
+    final = obs.render_dashboard(
+        store,
+        board=board,
+        flight=recorder,
+        tick=max(report.ticks - 1, 0),
+        title=title + " | done",
+        color=not args.plain,
+    )
+    if args.plain:
+        out.write(final + "\n")
+    else:
+        out.write("\x1b[2J\x1b[H" + final + "\n")
+    print(file=out)
+    print("== run summary ==", file=out)
+    summary = report.to_dict()
+    for key in (
+        "num_streams",
+        "scheduler",
+        "ticks",
+        "relays_flushed",
+        "relays_postponed",
+        "shared_cost",
+    ):
+        print(f"{key}: {summary[key]}", file=out)
+    print(f"frame_recall: {report.fleet.frame_recall:.4f}", file=out)
+    print(file=out)
+    print("== SLO alert timeline ==", file=out)
+    timeline = board.timeline()
+    if timeline:
+        print(format_table(timeline), file=out)
+    else:
+        print("(no alerts)", file=out)
+    if recorder.dumps:
+        print(file=out)
+        print(
+            f"== flight-recorder dumps ({len(recorder.dumps)}) ==",
+            file=out,
+        )
+        for dump in recorder.dumps:
+            print(
+                f"tick {dump['tick']}: {dump['reason']}"
+                + (f" (lane {dump['lane']})" if dump.get("lane") else ""),
+                file=out,
+            )
+    if args.timeseries_out is not None:
+        obs.write_timeseries_json(args.timeseries_out, store=store)
+    if args.flight_out is not None:
+        obs.write_flight_json(args.flight_out, recorder=recorder)
+
+
+def _slo_snapshot_value(snapshot: dict, series: str) -> float:
+    """Resolve a time-series name against a registry snapshot.
+
+    Gauges and counters match by name; ``name.p99``-style series resolve
+    into the histogram summary.  Unknown series come back as NaN (= no
+    data), matching the tracker's no-data semantics.
+    """
+    if series in snapshot.get("gauges", {}):
+        return float(snapshot["gauges"][series]["value"])
+    if series in snapshot.get("counters", {}):
+        return float(snapshot["counters"][series])
+    base, _, stat = series.rpartition(".")
+    hist = snapshot.get("histograms", {}).get(base)
+    if hist is not None and stat in hist:
+        return float(hist[stat])
+    return float("nan")
+
+
+def _run_slo(args: argparse.Namespace, out) -> None:
+    """Evaluate SLO specs offline against a telemetry dump."""
+    specs = (
+        obs.load_slo_specs(args.spec)
+        if args.spec is not None
+        else obs.default_fleet_slos()
+    )
+    with open(args.from_file, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+
+    if isinstance(data, dict) and "series" in data:
+        # Full time-series dump: replay the burn-rate FSM tick by tick.
+        store = obs.TimeSeriesStore.from_dict(data)
+        board = obs.evaluate_slos(specs, store)
+        print("== SLO alert timeline ==", file=out)
+        timeline = board.timeline()
+        if timeline:
+            print(format_table(timeline), file=out)
+        else:
+            print("(no alerts)", file=out)
+        print(file=out)
+        print("== final states ==", file=out)
+        print(format_table(board.summaries()), file=out)
+        payload = {
+            "timeline": timeline,
+            "states": board.states(),
+            "worst_state": board.worst_state,
+        }
+        violated = board.worst_state == "page"
+    else:
+        # Metrics snapshot: one point-in-time check per spec.
+        rows = []
+        for spec in specs:
+            value = _slo_snapshot_value(data, spec.series)
+            rows.append(
+                {
+                    "slo": spec.name,
+                    "series": spec.series,
+                    "objective": spec.objective,
+                    "target": spec.target,
+                    "value": value,
+                    "status": "violated" if spec.violated(value) else "ok",
+                }
+            )
+        print("== SLO point check (metrics snapshot) ==", file=out)
+        print(format_table(rows), file=out)
+        payload = {"checks": rows}
+        violated = any(row["status"] == "violated" for row in rows)
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(file=out)
+    print(f"result: {'VIOLATED' if violated else 'OK'}", file=out)
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -477,11 +762,15 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    owns_trace = getattr(args, "trace_out", None) is not None
+    owns_output = (
+        getattr(args, "trace_out", None) is not None
+        or getattr(args, "metrics_out", None) is not None
+    )
     try:
         obs.configure(
             log_level=getattr(args, "log_level", None),
             trace_out=getattr(args, "trace_out", None),
+            metrics_out=getattr(args, "metrics_out", None),
         )
         if args.command == "tasks":
             print(format_table(table2_rows()), file=out)
@@ -500,6 +789,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             _run_chaos(args, out)
         elif args.command == "fleet":
             _run_fleet(args, out)
+        elif args.command == "watch":
+            _run_watch(args, out)
+        elif args.command == "slo":
+            _run_slo(args, out)
         else:  # pragma: no cover - argparse enforces choices
             raise SystemExit(f"unknown command {args.command!r}")
     except Exception as exc:
@@ -511,7 +804,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         )
         return 1
     finally:
-        if owns_trace:
+        if owns_output:
             obs.shutdown()
     return 0
 

@@ -24,7 +24,7 @@ from ..core.model import EventHit
 from ..features.extractors import FeatureMatrix
 from ..features.pipeline import CovariatePipeline
 from ..ingest.guard import HEALTHY, QUARANTINED, GuardedStream, StreamGuard
-from ..obs import inc, log_info, set_gauge, span
+from ..obs import inc, is_enabled, log_info, set_gauge, span
 from ..video.events import EventType
 from ..video.stream import StreamSegment, VideoStream
 from .faults import CIError
@@ -601,6 +601,14 @@ class StreamMarshaller:
                     if pending:
                         pending = self._attempt_deferred(
                             pending, stream, service, report, max_deferrals
+                        )
+                    if is_enabled():
+                        # Backpressure: how much deferred work is queued
+                        # in front of this horizon.
+                        set_gauge("marshal.backlog.segments", len(pending))
+                        set_gauge(
+                            "marshal.backlog.frames",
+                            sum(d.segment.num_frames for d in pending),
                         )
                     if guarded is not None:
                         health = self._guard_bookkeeping(guarded, frame, report)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..obs import inc, log_debug, log_info, span
+from ..obs import inc, log_debug, log_info, set_gauge, span
 from ..video.events import EventType
 from ..video.stream import StreamSegment
 from .faults import CIBreakerOpen, CIError, CIThrottled
@@ -151,11 +151,16 @@ class CircuitBreaker:
         CLOSED: "ci.breaker.closed",
     }
 
+    #: Numeric encoding of ``state`` for the ``ci.breaker.state_code``
+    #: gauge (time-series stores need numbers; ordered by severity).
+    STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
     def _transition(self, to_state: str, now: float) -> None:
         from_state = self.state
         self.state = to_state
         self.transitions.append((from_state, to_state, now))
         inc(self._TRANSITION_COUNTERS[to_state])
+        set_gauge("ci.breaker.state_code", self.STATE_CODES[to_state])
         log_info(
             "ci.breaker.transition", from_state=from_state, to_state=to_state,
             at=now,
@@ -273,6 +278,11 @@ class ResilientCIClient:
         """Inner simulated time plus backoff waits."""
         return self.service.simulated_seconds + self._waited
 
+    @property
+    def retry_budget_remaining(self) -> Optional[int]:
+        """Retries left in the lifetime budget (``None`` = unlimited)."""
+        return self._budget_left
+
     def _now(self) -> float:
         return self.service.simulated_seconds + self._waited
 
@@ -359,6 +369,7 @@ class ResilientCIClient:
         self.stats.seconds_waited += delay
         if self._budget_left is not None:
             self._budget_left -= 1
+            set_gauge("ci.resilient.budget_remaining", self._budget_left)
         self.stats.retries += 1
         inc("ci.resilient.retries")
         inc("ci.resilient.backoff_seconds", delay)

@@ -45,8 +45,18 @@ from ..cloud.faults import CIError
 from ..cloud.marshaller import FAILURE_POLICIES, MarshallingReport, StreamMarshaller
 from ..cloud.service import UsageLedger
 from ..features.extractors import FeatureMatrix
-from ..ingest.guard import QUARANTINED, GuardedStream, StreamGuard
-from ..obs import inc, log_info, observe, set_gauge, span
+from ..ingest.guard import HEALTH_STATES, QUARANTINED, GuardedStream, StreamGuard
+from ..obs import (
+    get_flight_recorder,
+    inc,
+    is_enabled,
+    log_info,
+    observe,
+    record_tick,
+    set_gauge,
+    span,
+    update_slos,
+)
 from ..video.stream import VideoStream
 from .scheduler import (
     FleetScheduler,
@@ -74,7 +84,16 @@ class FleetLane:
 class _LaneState:
     """Mutable per-lane run state (cursor, report, shadow ledger)."""
 
-    __slots__ = ("lane", "report", "shadow", "frame", "done", "guarded", "features")
+    __slots__ = (
+        "lane",
+        "report",
+        "shadow",
+        "frame",
+        "done",
+        "guarded",
+        "features",
+        "last_health",
+    )
 
     def __init__(self, lane: FleetLane, start_frame: int):
         self.lane = lane
@@ -91,6 +110,9 @@ class _LaneState:
         # on a clean stream).
         self.guarded: Optional[GuardedStream] = None
         self.features = lane.features
+        # Health code observed at the last guard triage (None = unguarded);
+        # telemetry uses the transition into QUARANTINED as a trip wire.
+        self.last_health: Optional[int] = None
 
     @property
     def name(self) -> str:
@@ -425,6 +447,133 @@ class FleetMarshaller:
         return service.pricing
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    #: Field schemas for the per-tick flight rows, shared across ticks so
+    #: the recorder can store raw value tuples (see
+    #: :meth:`FlightRecorder.record_rows`).
+    _FLIGHT_LANE_KEYS = ("frame", "horizons", "requests", "deferred",
+                         "failed", "health", "cost")
+    _FLIGHT_FLEET_KEYS = ("backlog_segments", "backlog_frames", "flushed",
+                          "postponed", "budget_spent", "breaker")
+
+    @staticmethod
+    def _stack_owner(service, attr: str):
+        """First object in the service wrapper chain exposing ``attr``."""
+        target = service
+        while target is not None:
+            if hasattr(target, attr):
+                return target
+            target = getattr(target, "service", None)
+        return None
+
+    def _tick_telemetry(
+        self,
+        states: List[_LaneState],
+        report: FleetReport,
+        service,
+        tick: int,
+        backlog: List[RelayRequest],
+        spent: int,
+        tick_requests: Dict[str, int],
+        newly_quarantined: List[str],
+        books: Dict[str, float],
+        tick_seconds: float,
+        resilient,
+        breaker,
+    ) -> None:
+        """Per-tick sampling: backpressure gauges, flight records, the
+        time-series row, SLO burn rates, and trip-wire auto-dumps.
+
+        Called only while observability is enabled; everything here reads
+        run state, so decisions and reports are bit-for-bit those of an
+        untelemetered run.  ``resilient``/``breaker`` are the wrapper-stack
+        owners resolved once per run — the stack is fixed, so walking it
+        every tick would be wasted work.  This path is on the enabled-run
+        overhead budget (``benchmarks/test_fleet_telemetry_overhead.py``):
+        state is accumulated in one pass and flight records land through
+        the batched single-lock API.
+        """
+        quarantined = 0
+        true_frames = 0
+        detected = 0
+        lost = 0
+        covered = 0
+        failed = 0
+        entries = []
+        for state in states:
+            rep = state.report
+            true_frames += rep.true_event_frames
+            detected += rep.detected_event_frames
+            lost += rep.frames_lost
+            covered += rep.frames_covered
+            failed += rep.segments_failed
+            if state.last_health == QUARANTINED:
+                quarantined += 1
+            entries.append((state.name, (
+                state.frame,
+                rep.horizons_evaluated,
+                tick_requests.get(state.name, 0),
+                rep.segments_deferred,
+                rep.segments_failed,
+                (HEALTH_STATES[state.last_health]
+                 if state.last_health is not None else ""),
+                state.shadow.total_cost,
+            )))
+
+        backlog_frames = sum(r.frames for r in backlog)
+        set_gauge("fleet.backlog.segments", len(backlog))
+        set_gauge("fleet.backlog.frames", backlog_frames)
+        budget = self.tick_budget_frames
+        if budget is not None:
+            set_gauge("fleet.budget.utilization", spent / budget)
+        set_gauge("fleet.lanes_quarantined", quarantined)
+        set_gauge(
+            "fleet.recall_cum",
+            detected / true_frames if true_frames else 1.0,
+        )
+        set_gauge(
+            "fleet.frames_lost_ratio", lost / covered if covered else 0.0
+        )
+        cost_cum = service.ledger.total_cost - books["cost0"]
+        set_gauge("fleet.tick_cost", cost_cum - books["cost"])
+        set_gauge("fleet.cost_cum", cost_cum)
+        books["cost"] = cost_cum
+        observe("fleet.tick_seconds", tick_seconds)
+
+        if resilient is not None and resilient.retry_budget_remaining is not None:
+            set_gauge(
+                "ci.resilient.budget_remaining",
+                resilient.retry_budget_remaining,
+            )
+
+        fleet_row = ("_fleet", (
+            len(backlog),
+            backlog_frames,
+            report.relays_flushed - books["flushed"],
+            report.relays_postponed - books["postponed"],
+            spent,
+            breaker.state if breaker is not None else "",
+        ))
+        books["flushed"] = report.relays_flushed
+        books["postponed"] = report.relays_postponed
+
+        recorder = get_flight_recorder()
+        recorder.record_rows(tick, self._FLIGHT_LANE_KEYS, entries)
+        recorder.record_rows(tick, self._FLIGHT_FLEET_KEYS, (fleet_row,))
+        for lane in newly_quarantined:
+            recorder.auto_dump("quarantine", tick, lane)
+        if breaker is not None and breaker.open_count > books["opens"]:
+            books["opens"] = breaker.open_count
+            recorder.auto_dump("circuit-open", tick)
+        if failed > books["failed"]:
+            books["failed"] = failed
+            recorder.auto_dump("failure-policy", tick)
+
+        record_tick(tick)
+        update_slos(tick)
+
+    # ------------------------------------------------------------------
     def run(
         self,
         lanes: Sequence[FleetLane],
@@ -434,6 +583,7 @@ class FleetMarshaller:
         failure_policy: str = "raise",
         max_deferrals: int = 8,
         guard: Optional[StreamGuard] = None,
+        on_tick=None,
     ) -> FleetReport:
         """Marshal every lane tick by tick through the shared ``service``.
 
@@ -455,6 +605,10 @@ class FleetMarshaller:
         ``quarantine_policy`` through the shared relay pool.  Clean lanes
         are unaffected: their reports stay byte-identical to an unguarded
         run.
+
+        ``on_tick``, when given, is called as ``on_tick(tick)`` after
+        every tick (telemetry for that tick, if enabled, has already been
+        sampled) — the hook the ``watch`` dashboard redraws from.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -476,6 +630,18 @@ class FleetMarshaller:
         backlog: List[RelayRequest] = []
         tick = 0
         set_gauge("fleet.streams", len(states))
+        telemetry = is_enabled()
+        # The wrapper stack around the service is fixed for the whole run;
+        # resolve the telemetry-relevant owners once instead of per tick.
+        resilient = self._stack_owner(service, "retry_budget_remaining")
+        breaker = getattr(
+            self._stack_owner(service, "breaker"), "breaker", None
+        )
+        books = {
+            "cost0": cost_before, "cost": 0.0, "flushed": 0, "postponed": 0,
+            "failed": 0,
+            "opens": getattr(breaker, "open_count", 0),
+        }
         with span(
             "fleet.run", streams=len(states), scheduler=self.scheduler.name
         ):
@@ -483,12 +649,14 @@ class FleetMarshaller:
                 active = [s for s in states if self._lane_active(s, max_horizons)]
                 if not active and not backlog:
                     break
+                tick_requests: Dict[str, int] = {}
+                newly_quarantined: List[str] = []
                 with span(
                     "fleet.tick",
                     tick=tick,
                     active=len(active),
                     backlog=len(backlog),
-                ):
+                ) as tick_span:
                     pool = backlog
                     backlog = []
                     predicting = active
@@ -501,16 +669,35 @@ class FleetMarshaller:
                                 state.guarded, state.frame, state.report
                             )
                             if health == QUARANTINED:
-                                pool = pool + self._quarantine_tick(
+                                if (
+                                    telemetry
+                                    and state.last_health != QUARANTINED
+                                ):
+                                    newly_quarantined.append(state.name)
+                                state.last_health = health
+                                fallback = self._quarantine_tick(
                                     state, tick, guard.quarantine_policy
                                 )
+                                if telemetry:
+                                    tick_requests[state.name] = (
+                                        tick_requests.get(state.name, 0)
+                                        + len(fallback)
+                                    )
+                                pool = pool + fallback
                             else:
+                                state.last_health = health
                                 predicting.append(state)
                     if predicting:
                         report.max_batch_size = max(
                             report.max_batch_size, len(predicting)
                         )
-                        pool = pool + self._decide_tick(predicting, tick)
+                        fresh = self._decide_tick(predicting, tick)
+                        if telemetry:
+                            for request in fresh:
+                                tick_requests[request.lane] = (
+                                    tick_requests.get(request.lane, 0) + 1
+                                )
+                        pool = pool + fresh
                     ordered = self._schedule(pool, states, tick)
                     budget = self.tick_budget_frames
                     spent = 0
@@ -534,6 +721,14 @@ class FleetMarshaller:
                         spent += request.frames
                     m._advance_service_clock(service, m.horizon / fps)
                 report.ticks += 1
+                if telemetry:
+                    self._tick_telemetry(
+                        states, report, service, tick, backlog, spent,
+                        tick_requests, newly_quarantined, books,
+                        tick_span.seconds, resilient, breaker,
+                    )
+                if on_tick is not None:
+                    on_tick(tick)
                 tick += 1
 
         for state in states:

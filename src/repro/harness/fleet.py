@@ -93,6 +93,7 @@ def run_fleet(
     lanes: Sequence[FleetLane],
     max_horizons: Optional[int] = None,
     failure_policy: str = "raise",
+    on_tick=None,
 ) -> FleetReport:
     """One fleet run over a fresh shared service (convenience wrapper)."""
     service = FleetCIService([lane.stream for lane in lanes])
@@ -101,6 +102,7 @@ def run_fleet(
         service,
         max_horizons=max_horizons,
         failure_policy=failure_policy,
+        on_tick=on_tick,
     )
 
 

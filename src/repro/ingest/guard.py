@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..features.extractors import FeatureMatrix
-from ..obs import inc, log_info, span
+from ..obs import inc, log_info, set_gauge, span
 
 __all__ = [
     "HEALTH_STATES",
@@ -398,6 +398,7 @@ class StreamGuard:
             invalid = nonfinite | stale
 
             if not invalid.any():
+                set_gauge("ingest.invalid_rate", 0.0)
                 health = np.zeros(features.num_frames, dtype=np.int8)
                 return GuardedStream(
                     features,
@@ -420,6 +421,9 @@ class StreamGuard:
             inc("ingest.frames_nonfinite", int(nonfinite.sum()))
             inc("ingest.frames_stale", int(stale.sum()))
             inc("ingest.frames_imputed", int(imputed.sum()))
+            set_gauge(
+                "ingest.invalid_rate", float(invalid.mean())
+            )
             for frame, old, new in transitions:
                 inc("stream.health.transitions")
                 inc(f"stream.health.to_{new.lower()}")

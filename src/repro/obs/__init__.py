@@ -32,18 +32,29 @@ or from the shell: ``python -m repro.cli metrics --task TA10`` and the
 
 from __future__ import annotations
 
+import atexit
 from typing import Optional, TextIO, Union
 
 from . import _state
+from .dashboard import render_dashboard, sparkline
 from .export import (
     STAGE_COUNTERS,
     read_metrics_json,
+    render_prometheus,
     render_registry,
     render_stage_shares,
     render_table,
     render_trace_totals,
     stage_timing_from_counters,
     write_metrics_json,
+)
+from .flight import (
+    FlightRecorder,
+    flight_record,
+    get_flight_recorder,
+    postmortem,
+    set_flight_recorder,
+    write_flight_json,
 )
 from .logger import (
     LEVELS,
@@ -66,7 +77,28 @@ from .registry import (
     set_gauge,
     set_registry,
 )
+from .slo import (
+    ALERT_STATES,
+    AlertEvent,
+    SLOBoard,
+    SLOSpec,
+    SLOTracker,
+    default_fleet_slos,
+    evaluate_slos,
+    get_slo_board,
+    load_slo_specs,
+    set_slo_specs,
+    update_slos,
+)
 from .spans import SpanRecord, Tracer, get_tracer, span
+from .timeseries import (
+    TimeSeriesStore,
+    get_timeseries,
+    read_timeseries_json,
+    record_tick,
+    set_timeseries,
+    write_timeseries_json,
+)
 
 __all__ = [
     "configure",
@@ -101,15 +133,60 @@ __all__ = [
     "STAGE_COUNTERS",
     "render_table",
     "render_registry",
+    "render_prometheus",
     "render_trace_totals",
     "render_stage_shares",
     "stage_timing_from_counters",
     "write_metrics_json",
     "read_metrics_json",
+    # time series
+    "TimeSeriesStore",
+    "get_timeseries",
+    "set_timeseries",
+    "record_tick",
+    "write_timeseries_json",
+    "read_timeseries_json",
+    # SLOs
+    "ALERT_STATES",
+    "SLOSpec",
+    "AlertEvent",
+    "SLOTracker",
+    "SLOBoard",
+    "default_fleet_slos",
+    "evaluate_slos",
+    "load_slo_specs",
+    "get_slo_board",
+    "set_slo_specs",
+    "update_slos",
+    # flight recorder
+    "FlightRecorder",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "flight_record",
+    "postmortem",
+    "write_flight_json",
+    # dashboard
+    "render_dashboard",
+    "sparkline",
 ]
 
 #: File handle configure() opened for --trace-out (closed by shutdown()).
 _owned_trace_file: Optional[TextIO] = None
+
+#: Path configure() was told to flush the registry to on shutdown().
+_metrics_out_path: Optional[str] = None
+
+#: Whether shutdown() is already registered with atexit.  Registration is
+#: lazy — only once configure() takes ownership of an output — so merely
+#: importing repro.obs leaves the interpreter's exit path untouched.
+_atexit_registered = False
+
+
+def _register_atexit() -> None:
+    global _atexit_registered
+    if not _atexit_registered:
+        atexit.register(shutdown)
+        _atexit_registered = True
 
 
 def is_enabled() -> bool:
@@ -123,6 +200,7 @@ def configure(
     log_sink: Optional[TextIO] = None,
     trace_out: Optional[str] = None,
     trace_sink: Optional[TextIO] = None,
+    metrics_out: Optional[str] = None,
 ) -> None:
     """Global observability entry point.
 
@@ -143,8 +221,15 @@ def configure(
     trace_sink:
         Already-open text stream for spans (caller keeps ownership);
         mutually exclusive with ``trace_out``.
+    metrics_out:
+        Path to dump the registry to (JSON) when :func:`shutdown` runs;
+        implies ``enabled=True`` unless overridden.
+
+    Taking ownership of an output (``trace_out`` or ``metrics_out``)
+    registers :func:`shutdown` with :mod:`atexit`, so the files are
+    flushed even when a CLI experiment dies mid-run.
     """
-    global _owned_trace_file
+    global _owned_trace_file, _metrics_out_path
     if trace_out is not None and trace_sink is not None:
         raise ValueError("pass trace_out or trace_sink, not both")
     if log_level is not None:
@@ -156,10 +241,16 @@ def configure(
             _owned_trace_file.close()
         _owned_trace_file = open(trace_out, "w", encoding="utf-8")
         get_tracer().set_sink(_owned_trace_file)
+        _register_atexit()
         if enabled is None:
             enabled = True
     elif trace_sink is not None:
         get_tracer().set_sink(trace_sink)
+        if enabled is None:
+            enabled = True
+    if metrics_out is not None:
+        _metrics_out_path = metrics_out
+        _register_atexit()
         if enabled is None:
             enabled = True
     if enabled is not None:
@@ -167,8 +258,13 @@ def configure(
 
 
 def shutdown() -> None:
-    """Detach and close any trace file configure() opened (idempotent)."""
-    global _owned_trace_file
+    """Flush owned outputs: write the registry to ``metrics_out`` (if
+    configured) and close any trace file configure() opened.  Idempotent,
+    and registered with atexit once configure() owns an output."""
+    global _owned_trace_file, _metrics_out_path
+    if _metrics_out_path is not None:
+        path, _metrics_out_path = _metrics_out_path, None
+        write_metrics_json(path)
     get_tracer().set_sink(None)
     if _owned_trace_file is not None:
         _owned_trace_file.close()
@@ -177,10 +273,14 @@ def shutdown() -> None:
 
 def reset() -> None:
     """Return observability to its import-time state (used by tests):
-    disabled, empty registry and tracer, logger back to WARNING/stderr."""
+    disabled, empty registry/tracer/time-series/flight state, no SLO
+    board, logger back to WARNING/stderr."""
     shutdown()
     _state.enabled = False
     get_registry().reset()
+    get_timeseries().clear()
+    get_flight_recorder().clear()
+    set_slo_specs(())
     tracer = get_tracer()
     tracer.clear()
     logger = get_logger()

@@ -27,6 +27,7 @@ __all__ = [
     "STAGE_COUNTERS",
     "render_table",
     "render_registry",
+    "render_prometheus",
     "render_trace_totals",
     "render_stage_shares",
     "stage_timing_from_counters",
@@ -122,6 +123,66 @@ def render_trace_totals(tracer: Optional[Tracer] = None) -> str:
         for name in sorted(totals, key=totals.get, reverse=True)
     ]
     return render_table(rows)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus name grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: Optional[Mapping] = None,
+    registry: Optional[MetricsRegistry] = None,
+    prefix: str = "repro_",
+) -> str:
+    """Prometheus text-exposition (version 0.0.4) view of a registry.
+
+    Counters become ``<prefix><name>_total``, gauges map 1:1, and
+    histograms are exposed as summaries (``{quantile=...}`` series plus
+    ``_sum``/``_count``) — the reservoir keeps quantiles, not cumulative
+    buckets, and a summary is the exposition type for precomputed
+    quantiles.
+    """
+    if snapshot is None:
+        snapshot = (registry or get_registry()).snapshot()
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = f"{prefix}{_prom_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, stats in sorted(snapshot.get("gauges", {}).items()):
+        metric = f"{prefix}{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(stats['value'])}")
+    for name, stats in sorted(snapshot.get("histograms", {}).items()):
+        metric = f"{prefix}{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(
+                f'{metric}{{quantile="{label}"}} {_prom_value(stats[key])}'
+            )
+        lines.append(f"{metric}_sum {_prom_value(stats['sum'])}")
+        lines.append(f"{metric}_count {_prom_value(stats['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,329 @@
+"""Declarative SLOs with rolling error budgets and burn-rate alerting.
+
+An :class:`SLOSpec` names a time-series (a :mod:`repro.obs.timeseries`
+series such as a gauge, a counter delta, or a histogram percentile
+sub-series), an objective direction (``floor``: values must stay at or
+above the target; ``ceiling``: at or below), and an error budget — the
+fraction of ticks allowed to violate the target.
+
+Alerting follows the multi-window burn-rate scheme from SRE practice:
+per tick the tracker computes the violating-tick fraction over a short
+and a long window, divides each by the budget to get a *burn rate*
+(burn 1.0 = spending the budget exactly as fast as allowed), and drives
+an ok → warning → page FSM off the *smaller* of the two burns — paging
+needs both windows hot (the long window filters blips, the short window
+makes recovery immediate), which is the standard guard against both
+flappy and stale alerts.
+
+Everything runs on tick indices from the simulated clock, so a seeded
+chaos run produces a byte-for-byte reproducible alert timeline (pinned
+in ``tests/fleet``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import _state
+from .logger import log_warning
+from .registry import inc
+from .timeseries import TimeSeriesStore, get_timeseries
+
+__all__ = [
+    "SLOSpec",
+    "AlertEvent",
+    "SLOTracker",
+    "SLOBoard",
+    "ALERT_STATES",
+    "default_fleet_slos",
+    "evaluate_slos",
+    "load_slo_specs",
+    "get_slo_board",
+    "set_slo_specs",
+    "update_slos",
+]
+
+ALERT_STATES = ("ok", "warning", "page")
+OBJECTIVES = ("floor", "ceiling")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over a telemetry series.
+
+    ``budget`` is the rolling error budget: the fraction of ticks in the
+    long window allowed to violate ``target`` before burn rate 1.0 is
+    reached.  ``warn_burn``/``page_burn`` are the burn-rate thresholds
+    for the alert FSM.
+    """
+
+    name: str
+    series: str
+    objective: str          # "floor" | "ceiling"
+    target: float
+    budget: float = 0.05
+    long_window: int = 36
+    short_window: int = 6
+    warn_burn: float = 1.0
+    page_burn: float = 3.0
+    description: str = ""
+
+    def __post_init__(self):
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"objective must be one of {OBJECTIVES}, got {self.objective!r}")
+        if not 0 < self.budget <= 1:
+            raise ValueError("budget must be in (0, 1]")
+        if self.short_window < 1 or self.long_window < self.short_window:
+            raise ValueError("need 1 <= short_window <= long_window")
+        if self.page_burn < self.warn_burn:
+            raise ValueError("page_burn must be >= warn_burn")
+
+    def violated(self, value: float) -> bool:
+        """Whether ``value`` breaks the target (NaN = no data = no
+        violation; absence of signal is not an SLO breach)."""
+        if value != value:  # NaN
+            return False
+        if self.objective == "floor":
+            return value < self.target
+        return value > self.target
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SLOSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One FSM transition in an SLO's alert timeline."""
+
+    tick: int
+    slo: str
+    from_state: str
+    to_state: str
+    value: float
+    burn_short: float
+    burn_long: float
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+class SLOTracker:
+    """Rolling burn-rate evaluation and alert FSM for one spec."""
+
+    def __init__(self, spec: SLOSpec):
+        self.spec = spec
+        self.state = "ok"
+        self.events: List[AlertEvent] = []
+        self.ticks_evaluated = 0
+        self.violations_total = 0
+        self.last_value = float("nan")
+        self.burn_short = 0.0
+        self.burn_long = 0.0
+        self._window: Deque[bool] = deque(maxlen=spec.long_window)
+        self._window_sum = 0
+        self._short: Deque[bool] = deque(maxlen=spec.short_window)
+        self._short_sum = 0
+
+    def observe(self, value: float, tick: int) -> str:
+        """Feed the tick's value; returns the (possibly new) alert state."""
+        spec = self.spec
+        violated = spec.violated(value)
+        # Maintain both rolling violation counts incrementally (this runs
+        # once per spec per fleet tick): subtract the sample the bounded
+        # deque is about to evict, then add the new one.
+        if len(self._window) == spec.long_window:
+            self._window_sum -= self._window[0]
+        self._window.append(violated)
+        self._window_sum += violated
+        if len(self._short) == spec.short_window:
+            self._short_sum -= self._short[0]
+        self._short.append(violated)
+        self._short_sum += violated
+        self.ticks_evaluated += 1
+        self.violations_total += int(violated)
+        self.last_value = value
+        self.burn_long = (self._window_sum / len(self._window)) / spec.budget
+        self.burn_short = (self._short_sum / len(self._short)) / spec.budget
+        burn = min(self.burn_short, self.burn_long)
+        if burn >= spec.page_burn:
+            new_state = "page"
+        elif burn >= spec.warn_burn:
+            new_state = "warning"
+        else:
+            new_state = "ok"
+        if new_state != self.state:
+            event = AlertEvent(
+                tick=tick, slo=spec.name,
+                from_state=self.state, to_state=new_state,
+                value=float(value),
+                burn_short=self.burn_short, burn_long=self.burn_long,
+            )
+            self.events.append(event)
+            inc(f"slo.transitions.{new_state}")
+            if new_state != "ok":
+                log_warning("slo.alert", slo=spec.name, state=new_state,
+                            tick=tick, value=float(value),
+                            burn_short=self.burn_short,
+                            burn_long=self.burn_long)
+            self.state = new_state
+        return self.state
+
+    def summary(self) -> Dict:
+        frac = (self.violations_total / self.ticks_evaluated
+                if self.ticks_evaluated else 0.0)
+        return {
+            "slo": self.spec.name,
+            "series": self.spec.series,
+            "objective": self.spec.objective,
+            "target": self.spec.target,
+            "state": self.state,
+            "value": self.last_value,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "violating_frac": frac,
+            "ticks": self.ticks_evaluated,
+        }
+
+
+class SLOBoard:
+    """A set of trackers updated together from a time-series store."""
+
+    def __init__(self, specs: Iterable[SLOSpec] = ()):
+        self.trackers = [SLOTracker(spec) for spec in specs]
+        # Series names in tracker order, built once: update() runs every
+        # fleet tick and must not re-derive this list per call.
+        self._series_names = [t.spec.series for t in self.trackers]
+
+    @property
+    def specs(self) -> List[SLOSpec]:
+        return [t.spec for t in self.trackers]
+
+    def update(self, store: Optional[TimeSeriesStore] = None,
+               tick: int = 0) -> None:
+        """Evaluate every spec against the latest sample in ``store``."""
+        store = store or get_timeseries()
+        values = store.latest_many(self._series_names)
+        for tracker, value in zip(self.trackers, values):
+            tracker.observe(value, tick)
+
+    def replay(self, store: TimeSeriesStore) -> None:
+        """Reset all trackers and re-evaluate them over every retained
+        sample in ``store``, oldest first (offline ``slo`` evaluation)."""
+        self.trackers = [SLOTracker(spec) for spec in self.specs]
+        ticks = store.ticks()
+        columns = {t.spec.series: store.values(t.spec.series)
+                   for t in self.trackers}
+        for i, tick in enumerate(ticks):
+            for tracker in self.trackers:
+                tracker.observe(float(columns[tracker.spec.series][i]),
+                                int(tick))
+
+    def states(self) -> Dict[str, str]:
+        return {t.spec.name: t.state for t in self.trackers}
+
+    @property
+    def worst_state(self) -> str:
+        worst = 0
+        for tracker in self.trackers:
+            worst = max(worst, ALERT_STATES.index(tracker.state))
+        return ALERT_STATES[worst]
+
+    def timeline(self) -> List[Dict]:
+        """All alert events across trackers, ordered by (tick, slo)."""
+        events = [e.to_dict() for t in self.trackers for e in t.events]
+        return sorted(events, key=lambda e: (e["tick"], e["slo"]))
+
+    def summaries(self) -> List[Dict]:
+        return [t.summary() for t in self.trackers]
+
+    def to_dict(self) -> Dict:
+        return {
+            "specs": [s.to_dict() for s in self.specs],
+            "states": self.states(),
+            "timeline": self.timeline(),
+            "summaries": self.summaries(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def default_fleet_slos(
+    recall_floor: float = 0.85,
+    latency_p99_seconds: float = 2.0,
+    cost_per_tick: float = 25.0,
+    frames_lost_ratio: float = 0.05,
+) -> Tuple[SLOSpec, ...]:
+    """The four objectives the issue's fleet runs track by default."""
+    return (
+        SLOSpec(
+            name="recall-floor", series="fleet.recall_cum",
+            objective="floor", target=recall_floor, budget=0.25,
+            description="cumulative event-frame recall across the fleet",
+        ),
+        SLOSpec(
+            name="tick-latency-p99", series="fleet.tick_seconds.p99",
+            objective="ceiling", target=latency_p99_seconds, budget=0.05,
+            description="wall-clock p99 of one fleet tick",
+        ),
+        SLOSpec(
+            name="cloud-cost-budget", series="fleet.tick_cost",
+            objective="ceiling", target=cost_per_tick, budget=0.10,
+            description="simulated cloud spend per tick",
+        ),
+        SLOSpec(
+            name="frames-lost-ratio", series="fleet.frames_lost_ratio",
+            objective="ceiling", target=frames_lost_ratio, budget=0.10,
+            description="cumulative frames lost / frames covered",
+        ),
+    )
+
+
+def evaluate_slos(specs: Sequence[SLOSpec],
+                  store: TimeSeriesStore) -> SLOBoard:
+    """Replay ``specs`` over every sample retained in ``store``."""
+    board = SLOBoard(specs)
+    board.replay(store)
+    return board
+
+
+def load_slo_specs(path: str) -> List[SLOSpec]:
+    """Read a JSON list of spec dicts (the ``--slo-spec`` file format)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError("SLO spec file must be a JSON list of spec objects")
+    return [SLOSpec.from_dict(item) for item in data]
+
+
+_default_board = SLOBoard()
+
+
+def get_slo_board() -> SLOBoard:
+    """The process-wide board :func:`update_slos` drives."""
+    return _default_board
+
+
+def set_slo_specs(specs: Iterable[SLOSpec]) -> SLOBoard:
+    """Install a fresh default board tracking ``specs``; returns it."""
+    global _default_board
+    _default_board = SLOBoard(specs)
+    return _default_board
+
+
+def update_slos(tick: int) -> None:
+    """Evaluate the default board against the default time-series store
+    (no-op when observability is disabled or no specs are installed)."""
+    if not _state.enabled:
+        return
+    if not _default_board.trackers:
+        return
+    _default_board.update(get_timeseries(), tick)

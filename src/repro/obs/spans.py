@@ -19,7 +19,6 @@ from __future__ import annotations
 import json
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TextIO
 
 from . import _state
@@ -27,19 +26,35 @@ from . import _state
 __all__ = ["SpanRecord", "Tracer", "span", "get_tracer"]
 
 
-@dataclass(frozen=True)
 class SpanRecord:
-    """One finished span."""
+    """One finished span.
 
-    name: str
-    start_ts: float  # unix epoch seconds (wall clock)
-    seconds: float
-    depth: int
-    parent: Optional[str]
-    thread: str
-    status: str = "ok"
-    error: Optional[str] = None
-    attrs: Dict[str, object] = field(default_factory=dict)
+    A plain ``__slots__`` class rather than a dataclass: one record is
+    built on every live-span exit, and a frozen dataclass pays an
+    ``object.__setattr__`` per field — measurably the biggest share of
+    the enabled ``span()`` cost.
+    """
+
+    __slots__ = ("name", "start_ts", "seconds", "depth", "parent",
+                 "thread", "status", "error", "attrs")
+
+    def __init__(self, name: str, start_ts: float, seconds: float,
+                 depth: int, parent: Optional[str], thread: str,
+                 status: str = "ok", error: Optional[str] = None,
+                 attrs: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.start_ts = start_ts  # unix epoch seconds (wall clock)
+        self.seconds = seconds
+        self.depth = depth
+        self.parent = parent
+        self.thread = thread
+        self.status = status
+        self.error = error
+        self.attrs = {} if attrs is None else attrs
+
+    def __repr__(self) -> str:
+        return (f"SpanRecord(name={self.name!r}, seconds={self.seconds!r}, "
+                f"depth={self.depth!r}, status={self.status!r})")
 
     def to_dict(self) -> Dict[str, object]:
         out = {
@@ -125,10 +140,17 @@ def _stack() -> list:
     if stack is None:
         stack = []
         _stack_local.stack = stack
+        # The thread name is cached next to the stack: span exits read it
+        # on every record and ``threading.current_thread()`` is a dict
+        # lookup plus an attribute walk per call.
+        _stack_local.thread_name = threading.current_thread().name
     return stack
 
 
-_perf_counter = time.perf_counter  # bound once: the disabled path is hot
+# Bound once: the disabled path is hot, and the live path builds one
+# record per exit.
+_perf_counter = time.perf_counter
+_wall_clock = time.time
 
 
 class _DisabledSpan:
@@ -157,12 +179,12 @@ class _LiveSpan:
 
     def __enter__(self) -> "_LiveSpan":
         _stack().append(self.name)
-        self._start_ts = time.time_ns() / 1e9
-        self._t0 = time.perf_counter()
+        self._start_ts = _wall_clock()
+        self._t0 = _perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.seconds = time.perf_counter() - self._t0
+        self.seconds = _perf_counter() - self._t0
         stack = _stack()
         stack.pop()
         _tracer.add(
@@ -172,7 +194,7 @@ class _LiveSpan:
                 seconds=self.seconds,
                 depth=len(stack),
                 parent=stack[-1] if stack else None,
-                thread=threading.current_thread().name,
+                thread=_stack_local.thread_name,
                 status="ok" if exc_type is None else "error",
                 error=None if exc is None else repr(exc),
                 attrs=self.attrs,

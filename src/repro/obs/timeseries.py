@@ -1,0 +1,391 @@
+"""Fixed-memory time-series sampling over the metrics registry.
+
+Run-level counters answer the paper's §VI.H accounting question *after*
+the fact; overload in a fleet forms *during* the run (NoScope-style live
+budgets, bursty video workloads).  :class:`TimeSeriesStore` closes that
+gap: once per fleet tick it snapshots the default registry and appends a
+row to a ring of preallocated numpy arrays — fixed memory no matter how
+long the run is.
+
+Per sampled metric kind:
+
+* **counters** are stored as per-tick *deltas* (the rate signal overload
+  detection needs), with registry resets tolerated;
+* **gauges** are stored as their point-in-time value;
+* **histograms** expand into sub-series — ``name.count`` / ``name.sum``
+  deltas plus ``name.p50`` / ``name.p95`` / ``name.p99`` point-in-time
+  estimates.
+
+Windowed aggregation (:meth:`~TimeSeriesStore.rate`,
+:meth:`~TimeSeriesStore.percentile`, :meth:`~TimeSeriesStore.window_stats`)
+feeds the SLO burn-rate tracker (:mod:`repro.obs.slo`) and the ``watch``
+dashboard; :meth:`~TimeSeriesStore.to_dict` round-trips through strict
+JSON (NaN gaps encoded as ``null``) for the ``slo`` CLI.
+
+The module-level helper :func:`record_tick` is gated on the master
+switch and stays sub-microsecond while observability is disabled
+(benchmarked in ``tests/obs``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import _state
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+__all__ = [
+    "TimeSeriesStore",
+    "get_timeseries",
+    "set_timeseries",
+    "record_tick",
+    "write_timeseries_json",
+    "read_timeseries_json",
+]
+
+class TimeSeriesStore:
+    """Ring buffer of per-tick registry samples with windowed aggregation.
+
+    ``capacity`` bounds memory: each series is one preallocated float64
+    array of that length, and once more than ``capacity`` samples have
+    been taken the oldest rows are overwritten.  Series appear lazily the
+    first time their metric shows up in a sample; earlier positions stay
+    NaN, and NaN is ignored by every aggregate (it means "no data", not
+    zero).
+    """
+
+    def __init__(self, capacity: int = 720):
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ticks = np.full(self.capacity, -1, dtype=np.int64)
+        self._series: Dict[str, np.ndarray] = {}
+        self._count = 0  # samples taken ever (monotonic)
+        self._auto_tick = 0
+        self._last_counter: Dict[str, float] = {}
+        self._last_hist: Dict[str, Tuple[float, float]] = {}
+        # Cached sampling plan: (registry, registry version, metric items,
+        # ring arrays in emitted order).  Valid until the registry's metric
+        # set changes; lets the steady-state sample skip the registry lock,
+        # the row dict, and the per-name array lookups.
+        self._plan: Optional[Tuple] = None
+
+    # ------------------------------------------------------------------
+    # sampling
+
+    def sample(self, registry: Optional[MetricsRegistry] = None,
+               tick: Optional[int] = None) -> int:
+        """Append one row sampled from ``registry`` (default registry if
+        omitted); returns the tick id recorded for the row.
+
+        Reads each metric through its allocation-lean accessor rather
+        than ``registry.snapshot()``: this runs once per fleet tick, and
+        the snapshot's dict-per-metric deep copy both costs time and
+        churns enough containers to drag GC sweeps into the tick path
+        (see ``benchmarks/test_fleet_telemetry_overhead.py``).  While the
+        registry's metric *set* is unchanged (keyed on its version
+        counter) a cached plan maps metrics straight onto their ring
+        arrays, skipping the registry lock and all per-name lookups.
+        """
+        reg = registry or get_registry()
+        version = reg._version
+        with self._lock:
+            plan = self._plan
+            if (plan is not None and plan[0] is reg and plan[1] == version):
+                return self._sample_planned(plan, tick)
+            with reg._lock:
+                metrics = list(reg._metrics.items())
+            row: Dict[str, float] = {}
+            plan_metrics = []
+            for name, metric in metrics:
+                # Counter/gauge values are single floats, so the bare
+                # attribute reads are atomic under the GIL — no need for
+                # the metric locks on this per-tick path.
+                if isinstance(metric, Counter):
+                    row[name] = self._delta(
+                        self._last_counter, name, metric._value
+                    )
+                elif isinstance(metric, Gauge):
+                    value = metric._value
+                    row[name] = value if value is not None else float("nan")
+                elif isinstance(metric, Histogram):
+                    count, total, p50, p95, p99 = metric.sample_stats()
+                    last_count, last_sum = self._last_hist.get(
+                        name, (0.0, 0.0)
+                    )
+                    dcount = count - last_count
+                    dsum = total - last_sum
+                    if dcount < 0:  # registry reset under us: fresh books
+                        dcount, dsum = count, total
+                    row[name + ".count"] = dcount
+                    row[name + ".sum"] = dsum
+                    self._last_hist[name] = (count, total)
+                    row[name + ".p50"] = p50
+                    row[name + ".p95"] = p95
+                    row[name + ".p99"] = p99
+                else:
+                    continue
+                plan_metrics.append((name, metric))
+            if tick is None:
+                tick = self._auto_tick
+            self._auto_tick = tick + 1
+            pos = self._count % self.capacity
+            self._ticks[pos] = tick
+            for name, value in row.items():
+                arr = self._series.get(name)
+                if arr is None:
+                    arr = np.full(self.capacity, np.nan)
+                    self._series[name] = arr
+                arr[pos] = value
+            vanished = []
+            if len(self._series) != len(row):
+                # Every row name was just written into _series, so equal
+                # sizes mean equal key sets; a mismatch means some metric
+                # vanished (registry reset) and its row must gap to NaN.
+                vanished = [arr for name, arr in self._series.items()
+                            if name not in row]
+                for arr in vanished:
+                    arr[pos] = np.nan
+            self._count += 1
+            # Row insertion order is the emitted order, so the arrays can
+            # be replayed positionally on the next (planned) sample;
+            # vanished series ride along so their NaN gap keeps advancing
+            # once the ring laps old data.
+            self._plan = (reg, version, plan_metrics,
+                          [self._series[n] for n in row], vanished)
+        return tick
+
+    def _sample_planned(self, plan: Tuple, tick: Optional[int]) -> int:
+        """Steady-state sample along a cached plan (lock held): same
+        metrics, same emitted order, arrays written positionally."""
+        vals: List[float] = []
+        append = vals.append
+        for name, metric in plan[2]:
+            if isinstance(metric, Counter):
+                append(self._delta(self._last_counter, name, metric._value))
+            elif isinstance(metric, Gauge):
+                value = metric._value
+                append(value if value is not None else float("nan"))
+            else:
+                count, total, p50, p95, p99 = metric.sample_stats()
+                last_count, last_sum = self._last_hist.get(name, (0.0, 0.0))
+                dcount = count - last_count
+                dsum = total - last_sum
+                if dcount < 0:  # registry reset under us: fresh books
+                    dcount, dsum = count, total
+                self._last_hist[name] = (count, total)
+                append(dcount)
+                append(dsum)
+                append(p50)
+                append(p95)
+                append(p99)
+        if tick is None:
+            tick = self._auto_tick
+        self._auto_tick = tick + 1
+        pos = self._count % self.capacity
+        self._ticks[pos] = tick
+        for arr, value in zip(plan[3], vals):
+            arr[pos] = value
+        for arr in plan[4]:
+            arr[pos] = np.nan
+        self._count += 1
+        return tick
+
+    @staticmethod
+    def _delta(book: Dict[str, float], name: str, total: float) -> float:
+        prev = book.get(name, 0.0)
+        book[name] = total
+        delta = total - prev
+        return total if delta < 0 else delta
+
+    # ------------------------------------------------------------------
+    # reading
+
+    @property
+    def num_samples(self) -> int:
+        return min(self._count, self.capacity)
+
+    def _order(self) -> np.ndarray:
+        """Ring positions oldest → newest (call with the lock held)."""
+        if self._count <= self.capacity:
+            return np.arange(self._count)
+        pos = self._count % self.capacity
+        return np.concatenate([np.arange(pos, self.capacity),
+                               np.arange(pos)])
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def ticks(self) -> np.ndarray:
+        """Tick ids of the retained samples, oldest first."""
+        with self._lock:
+            return self._ticks[self._order()].copy()
+
+    def values(self, name: str, window: Optional[int] = None) -> np.ndarray:
+        """Values of series ``name`` oldest first (last ``window`` samples
+        if given).  Unknown series yield an all-NaN window."""
+        with self._lock:
+            order = self._order()
+            arr = self._series.get(name)
+            out = (np.full(len(order), np.nan) if arr is None
+                   else arr[order].copy())
+        if window is not None:
+            out = out[-int(window):]
+        return out
+
+    def latest(self, name: str) -> float:
+        # O(1) read of the newest row — the SLO board calls this once per
+        # spec per tick, so it must not materialise the ring ordering.
+        with self._lock:
+            if not self._count:
+                return float("nan")
+            arr = self._series.get(name)
+            if arr is None:
+                return float("nan")
+            return float(arr[(self._count - 1) % self.capacity])
+
+    def latest_many(self, names: Sequence[str]) -> List[float]:
+        """Newest value of each series under one lock acquisition."""
+        with self._lock:
+            if not self._count:
+                return [float("nan")] * len(names)
+            pos = (self._count - 1) % self.capacity
+            out = []
+            for name in names:
+                arr = self._series.get(name)
+                out.append(
+                    float(arr[pos]) if arr is not None else float("nan")
+                )
+            return out
+
+    def rate(self, name: str, window: Optional[int] = None) -> float:
+        """Mean per-tick value over the window (NaN rows ignored)."""
+        values = self.values(name, window)
+        valid = values[~np.isnan(values)]
+        return float(valid.mean()) if len(valid) else float("nan")
+
+    def total(self, name: str, window: Optional[int] = None) -> float:
+        values = self.values(name, window)
+        valid = values[~np.isnan(values)]
+        return float(valid.sum()) if len(valid) else float("nan")
+
+    def percentile(self, name: str, q: float,
+                   window: Optional[int] = None) -> float:
+        values = self.values(name, window)
+        valid = values[~np.isnan(values)]
+        return float(np.percentile(valid, q)) if len(valid) else float("nan")
+
+    def window_stats(self, name: str,
+                     window: Optional[int] = None) -> Dict[str, float]:
+        """Summary of the last ``window`` samples: n/mean/min/max/last and
+        p50/p95/p99."""
+        values = self.values(name, window)
+        valid = values[~np.isnan(values)]
+        if not len(valid):
+            return {k: float("nan") for k in
+                    ("n", "mean", "min", "max", "last", "p50", "p95", "p99")}
+        p50, p95, p99 = np.percentile(valid, [50, 95, 99])
+        return {
+            "n": float(len(valid)),
+            "mean": float(valid.mean()),
+            "min": float(valid.min()),
+            "max": float(valid.max()),
+            "last": float(valid[-1]),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle / serialisation
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ticks.fill(-1)
+            self._series.clear()
+            self._count = 0
+            self._auto_tick = 0
+            self._last_counter.clear()
+            self._last_hist.clear()
+            self._plan = None
+
+    def to_dict(self) -> Dict:
+        """Strict-JSON-safe dict (NaN encoded as ``None``), oldest first."""
+        with self._lock:
+            order = self._order()
+            return {
+                "capacity": self.capacity,
+                "ticks": [int(t) for t in self._ticks[order]],
+                "series": {
+                    name: [None if math.isnan(v) else float(v)
+                           for v in arr[order]]
+                    for name, arr in sorted(self._series.items())
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TimeSeriesStore":
+        ticks = data.get("ticks", [])
+        capacity = max(int(data.get("capacity", 720)), len(ticks), 2)
+        store = cls(capacity=capacity)
+        n = len(ticks)
+        store._count = n
+        store._ticks[:n] = np.asarray(ticks, dtype=np.int64)
+        store._auto_tick = (int(ticks[-1]) + 1) if n else 0
+        for name, values in data.get("series", {}).items():
+            arr = np.full(capacity, np.nan)
+            arr[:n] = [np.nan if v is None else float(v) for v in values]
+            store._series[name] = arr
+        return store
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimeSeriesStore":
+        return cls.from_dict(json.loads(text))
+
+
+_default_store = TimeSeriesStore()
+
+
+def get_timeseries() -> TimeSeriesStore:
+    """The process-wide store :func:`record_tick` samples into."""
+    return _default_store
+
+
+def set_timeseries(store: TimeSeriesStore) -> TimeSeriesStore:
+    """Swap the default store (e.g. to resize the ring); returns the old."""
+    global _default_store
+    old = _default_store
+    _default_store = store
+    return old
+
+
+def record_tick(tick: Optional[int] = None) -> Optional[int]:
+    """Sample the default registry into the default store (no-op when
+    observability is disabled); returns the recorded tick id."""
+    if not _state.enabled:
+        return None
+    return _default_store.sample(tick=tick)
+
+
+def write_timeseries_json(path: str,
+                          store: Optional[TimeSeriesStore] = None) -> None:
+    """Dump ``store`` (default store if omitted) as indented JSON."""
+    store = store or _default_store
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(store.to_json(indent=2))
+        fh.write("\n")
+
+
+def read_timeseries_json(path: str) -> TimeSeriesStore:
+    with open(path, "r", encoding="utf-8") as fh:
+        return TimeSeriesStore.from_json(fh.read())

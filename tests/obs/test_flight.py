@@ -1,0 +1,137 @@
+"""Flight recorder: per-lane rings, auto-dumps, postmortem rendering."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import FLEET_LANE, FlightRecorder, postmortem
+
+
+class TestRecording:
+    def test_per_lane_rings_evict_oldest(self):
+        rec = FlightRecorder(capacity=3)
+        for tick in range(5):
+            rec.record("cam0", tick, frame=tick * 10)
+        snap = rec.snapshot()
+        assert [e["tick"] for e in snap["cam0"]] == [2, 3, 4]
+
+    def test_lanes_in_first_seen_order(self):
+        rec = FlightRecorder()
+        rec.record("b", 0)
+        rec.record("a", 0)
+        assert rec.lanes() == ["b", "a"]
+
+    def test_snapshot_is_a_copy(self):
+        rec = FlightRecorder()
+        rec.record("cam0", 0, depth=1)
+        snap = rec.snapshot()
+        snap["cam0"][0]["depth"] = 99
+        assert rec.snapshot()["cam0"][0]["depth"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(max_dumps=0)
+
+
+class TestAutoDump:
+    def test_dump_freezes_all_lanes_and_trigger(self):
+        rec = FlightRecorder()
+        rec.record("cam0", 0, depth=1)
+        rec.record("cam1", 0, depth=2)
+        dump = rec.auto_dump("quarantine", tick=0, lane="cam1")
+        assert dump["reason"] == "quarantine" and dump["lane"] == "cam1"
+        assert set(dump["lanes"]) == {"cam0", "cam1"}
+        # later records must not leak into the archived dump
+        rec.record("cam0", 1, depth=7)
+        assert len(rec.dumps[0]["lanes"]["cam0"]) == 1
+
+    def test_dump_ring_bounded_but_total_monotonic(self):
+        rec = FlightRecorder(max_dumps=2)
+        for i in range(5):
+            rec.auto_dump("circuit-open", tick=i)
+        assert len(rec.dumps) == 2
+        assert rec.dumps_total == 5
+        assert [d["tick"] for d in rec.dumps] == [3, 4]
+
+    def test_dump_increments_counter(self):
+        obs.configure(enabled=True)
+        FlightRecorder().auto_dump("failure-policy", tick=3)
+        snap = obs.get_registry().snapshot()
+        assert snap["counters"]["flight.dumps"] == 1.0
+
+    def test_clear(self):
+        rec = FlightRecorder()
+        rec.record("cam0", 0)
+        rec.auto_dump("quarantine", tick=0)
+        rec.clear()
+        assert rec.lanes() == [] and rec.dumps == [] and rec.dumps_total == 0
+
+
+class TestPostmortem:
+    def test_render_puts_tripping_lane_first(self):
+        rec = FlightRecorder()
+        rec.record("cam0", 0, health="HEALTHY")
+        rec.record("cam1", 0, health="QUARANTINED")
+        rec.record(FLEET_LANE, 0, backlog_segments=2)
+        dump = rec.auto_dump("quarantine", tick=0, lane="cam1")
+        text = postmortem(dump)
+        assert "reason: quarantine" in text
+        assert text.index("lane cam1") < text.index("lane cam0")
+        assert "== fleet ==" in text  # pseudo-lane renders as "fleet"
+        assert "QUARANTINED" in text
+
+    def test_render_without_tripping_lane(self):
+        rec = FlightRecorder()
+        rec.record("cam0", 2, frame=20)
+        text = postmortem(rec.auto_dump("circuit-open", tick=2))
+        assert "circuit-open" in text and "lane cam0" in text
+
+
+class TestSerialisation:
+    def test_json_round_trip_is_deterministic(self):
+        rec = FlightRecorder()
+        rec.record("cam0", 0, frame=0, health="HEALTHY")
+        rec.auto_dump("quarantine", tick=0, lane="cam0")
+        assert rec.to_json() == rec.to_json()
+        data = json.loads(rec.to_json())
+        assert data["dumps_total"] == 1
+
+    def test_write_flight_json(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("cam0", 1, frame=5)
+        path = str(tmp_path / "flight.json")
+        obs.write_flight_json(path, recorder=rec)
+        with open(path, "r", encoding="utf-8") as fh:
+            assert json.load(fh) == rec.to_dict()
+
+
+class TestModuleHelpers:
+    def test_flight_record_noop_when_disabled(self):
+        assert not obs.is_enabled()
+        obs.flight_record("cam0", 0, frame=1)
+        assert obs.get_flight_recorder().lanes() == []
+
+    def test_flight_record_writes_default_recorder(self):
+        obs.configure(enabled=True)
+        obs.flight_record("cam0", 0, frame=1)
+        assert obs.get_flight_recorder().snapshot()["cam0"] == [
+            {"tick": 0, "frame": 1}
+        ]
+
+    def test_set_flight_recorder_swaps_and_returns_old(self):
+        old = obs.get_flight_recorder()
+        fresh = FlightRecorder(capacity=4)
+        try:
+            assert obs.set_flight_recorder(fresh) is old
+            assert obs.get_flight_recorder() is fresh
+        finally:
+            obs.set_flight_recorder(old)
+
+    def test_reset_clears_default_recorder(self):
+        obs.configure(enabled=True)
+        obs.flight_record("cam0", 0)
+        obs.reset()
+        assert obs.get_flight_recorder().lanes() == []

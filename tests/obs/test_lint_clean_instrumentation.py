@@ -350,3 +350,117 @@ def test_error_suppression_rules_scoped_outside_ingest(tmp_path):
     assert "seterr" in hits[0]
 
 
+# ----------------------------------------------------------------------
+# Telemetry substrate: no reaching into registry internals outside obs
+# ----------------------------------------------------------------------
+# The exporters' race-freedom guarantee rests on MetricsRegistry.snapshot()
+# being the only read path and inc/set_gauge/observe the only write paths.
+# Code outside src/repro/obs that grabs a private attribute off the
+# registry (or a metric), or flips the ``_state.enabled`` master switch
+# directly instead of going through obs.configure()/obs.reset(), bypasses
+# the locks and the enable gating that the sub-µs disabled-path benchmarks
+# and the threaded stress test pin down.
+
+OBS_SUBDIR = "obs"
+_REGISTRY_PRIVATE = ("_metrics", "_reservoir", "_last_counter", "_last_hist")
+
+
+def scan_registry_private_access(path, root=None):
+    """Registry-internals violations in one file outside src/repro/obs/.
+
+    Flags, outside ``src/repro/obs/``:
+
+    * attribute access to a known registry/metric internal
+      (``._metrics``, ``._reservoir``, ...);
+    * any private attribute taken directly off ``get_registry()``
+      (``get_registry()._anything``);
+    * assignment to ``_state.enabled`` (use ``obs.configure``/``obs.reset``).
+    """
+    root = root or SRC_ROOT.parent
+    rel = path.relative_to(root) if path.is_relative_to(root) else path
+    if OBS_SUBDIR in path.parent.parts:
+        return []
+    tokens = _code_tokens(path)
+    found = []
+    for i, tok in enumerate(tokens):
+        if tok.type != tokenize.NAME:
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        dotted = prev is not None and prev.string == "."
+        if dotted and tok.string in _REGISTRY_PRIVATE:
+            found.append(
+                f"{rel}:{tok.start[0]}: .{tok.string} — registry internals "
+                "are private to repro.obs; read through snapshot() and "
+                "write through inc/set_gauge/observe"
+            )
+            continue
+        # get_registry ( ) . _x
+        if (
+            dotted
+            and tok.string.startswith("_")
+            and i >= 4
+            and tokens[i - 2].string == ")"
+            and tokens[i - 3].string == "("
+            and tokens[i - 4].string == "get_registry"
+        ):
+            found.append(
+                f"{rel}:{tok.start[0]}: get_registry().{tok.string} — "
+                "private attribute poke on the shared registry; use its "
+                "public API"
+            )
+            continue
+        # _state . enabled =   (but not ==)
+        if (
+            tok.string == "enabled"
+            and dotted
+            and i >= 2
+            and tokens[i - 2].string == "_state"
+            and nxt is not None
+            and nxt.string == "="
+        ):
+            found.append(
+                f"{rel}:{tok.start[0]}: _state.enabled assignment — the "
+                "master switch is flipped only via obs.configure()/"
+                "obs.reset()"
+            )
+    return found
+
+
+def test_src_has_no_registry_private_access():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        violations.extend(scan_registry_private_access(path))
+    assert not violations, "\n".join(violations)
+
+
+def test_registry_access_scan_catches_planted_violations(tmp_path):
+    planted = tmp_path / "bad.py"
+    planted.write_text(
+        '"""._metrics and _state.enabled = True in a docstring are fine."""\n'
+        "from repro.obs import get_registry\n"
+        "names = get_registry()._metrics\n"
+        "r = hist._reservoir\n"
+        "get_registry()._lock.acquire()\n"
+        "_state.enabled = True\n"
+        "if _state.enabled == True:\n"  # read/compare: allowed
+        "    pass\n"
+        "snapshot = get_registry().snapshot()\n"  # public API: allowed
+        "value = get_registry().counter('c')\n"
+    )
+    hits = scan_registry_private_access(planted, root=tmp_path)
+    assert len(hits) == 4
+    assert "bad.py:3" in hits[0] and "_metrics" in hits[0]
+    assert "bad.py:4" in hits[1] and "_reservoir" in hits[1]
+    assert "bad.py:5" in hits[2] and "_lock" in hits[2]
+    assert "bad.py:6" in hits[3] and "enabled" in hits[3]
+
+
+def test_registry_access_rules_exempt_obs_itself(tmp_path):
+    obs_dir = tmp_path / "obs"
+    obs_dir.mkdir()
+    planted = obs_dir / "registry.py"
+    planted.write_text("names = get_registry()._metrics\n")
+    assert scan_registry_private_access(planted, root=tmp_path) == []
+
+

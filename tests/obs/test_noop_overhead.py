@@ -66,3 +66,20 @@ def test_suppressed_log_under_1us(benchmark):
     # Default threshold is WARNING; info must short-circuit on the level
     # check before building any record.
     run(benchmark, obs.log_info, "hot.event")
+
+
+def test_disabled_record_tick_under_1us(benchmark):
+    # Called once per fleet tick; must short-circuit before touching the
+    # registry or the time-series ring.
+    run(benchmark, obs.record_tick)
+
+
+def test_disabled_flight_record_under_1us(benchmark):
+    def call():
+        obs.flight_record("lane0", 0, frame=1, depth=2)
+
+    run(benchmark, call)
+
+
+def test_disabled_update_slos_under_1us(benchmark):
+    run(benchmark, obs.update_slos, 0)

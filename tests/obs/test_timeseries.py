@@ -1,0 +1,254 @@
+"""TimeSeriesStore: ring semantics, delta bookkeeping, aggregation, JSON."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    return reg
+
+
+class TestSampling:
+    def test_counters_stored_as_deltas(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        reg.counter("frames").inc(10)
+        store.sample(registry=reg)
+        reg.counter("frames").inc(5)
+        store.sample(registry=reg)
+        values = store.values("frames")
+        assert values.tolist() == [10.0, 5.0]
+
+    def test_counter_reset_starts_fresh_books(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        reg.counter("frames").inc(10)
+        store.sample(registry=reg)
+        reg.reset()
+        reg.counter("frames").inc(3)
+        store.sample(registry=reg)
+        # 3 < 10 would give a negative delta; fresh books record the total.
+        assert store.latest("frames") == 3.0
+
+    def test_gauges_stored_point_in_time(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        reg.gauge("depth").set(4.0)
+        store.sample(registry=reg)
+        reg.gauge("depth").set(2.0)
+        store.sample(registry=reg)
+        assert store.values("depth").tolist() == [4.0, 2.0]
+
+    def test_histograms_expand_into_sub_series(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("lat").observe(v)
+        store.sample(registry=reg)
+        reg.histogram("lat").observe(9.0)
+        store.sample(registry=reg)
+        assert store.values("lat.count").tolist() == [3.0, 1.0]
+        assert store.values("lat.sum").tolist() == [6.0, 9.0]
+        assert store.latest("lat.p99") == pytest.approx(
+            reg.histogram("lat").percentile(99)
+        )
+
+    def test_late_series_backfilled_with_nan(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        reg.counter("a").inc()
+        store.sample(registry=reg)
+        reg.gauge("b").set(1.0)
+        store.sample(registry=reg)
+        values = store.values("b")
+        assert math.isnan(values[0]) and values[1] == 1.0
+
+    def test_vanished_series_recorded_as_nan(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        reg.gauge("g").set(1.0)
+        store.sample(registry=reg)
+        reg.reset()
+        store.sample(registry=reg)
+        assert math.isnan(store.latest("g"))
+
+    def test_explicit_and_auto_ticks(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        assert store.sample(registry=reg, tick=10) == 10
+        assert store.sample(registry=reg) == 11  # auto continues after 10
+        assert store.ticks().tolist() == [10, 11]
+
+
+class TestRing:
+    def test_wraps_at_capacity_keeping_newest(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=4)
+        for i in range(10):
+            reg.gauge("g").set(float(i))
+            store.sample(registry=reg)
+        assert store.num_samples == 4
+        assert store.values("g").tolist() == [6.0, 7.0, 8.0, 9.0]
+        assert store.ticks().tolist() == [6, 7, 8, 9]
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(capacity=1)
+
+    def test_clear(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=4)
+        reg.gauge("g").set(1.0)
+        store.sample(registry=reg)
+        store.clear()
+        assert store.num_samples == 0
+        assert store.names() == []
+        assert store.sample(registry=reg) == 0  # auto-tick restarts
+
+
+class TestAggregation:
+    def _store(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=16)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.gauge("g").set(v)
+            store.sample(registry=reg)
+        return store
+
+    def test_rate_and_total_and_window(self):
+        store = self._store()
+        assert store.rate("g") == pytest.approx(2.5)
+        assert store.total("g") == pytest.approx(10.0)
+        assert store.rate("g", window=2) == pytest.approx(3.5)
+
+    def test_percentile_and_window_stats(self):
+        store = self._store()
+        assert store.percentile("g", 50) == pytest.approx(2.5)
+        stats = store.window_stats("g")
+        assert stats["n"] == 4 and stats["last"] == 4.0
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+
+    def test_unknown_series_is_nan(self):
+        store = self._store()
+        assert math.isnan(store.latest("missing"))
+        assert math.isnan(store.rate("missing"))
+        assert all(math.isnan(v) for v in store.values("missing"))
+
+    def test_nan_rows_ignored_by_aggregates(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        store.sample(registry=reg)  # no series yet -> NaN row once g appears
+        reg.gauge("g").set(6.0)
+        store.sample(registry=reg)
+        assert store.rate("g") == pytest.approx(6.0)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_byte_stable(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=8)
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        store.sample(registry=reg)
+        store.sample(registry=reg)
+        rt = TimeSeriesStore.from_json(store.to_json())
+        assert rt.to_json() == store.to_json()
+
+    def test_nan_encodes_as_null(self):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=4)
+        store.sample(registry=reg)
+        reg.gauge("g").set(1.0)
+        store.sample(registry=reg)
+        data = store.to_dict()
+        assert data["series"]["g"] == [None, 1.0]
+
+    def test_from_dict_grows_capacity_to_fit(self):
+        data = {"capacity": 2, "ticks": [0, 1, 2],
+                "series": {"g": [1.0, 2.0, 3.0]}}
+        store = TimeSeriesStore.from_dict(data)
+        assert store.num_samples == 3
+        assert store.values("g").tolist() == [1.0, 2.0, 3.0]
+
+    def test_file_round_trip(self, tmp_path):
+        reg = make_registry()
+        store = TimeSeriesStore(capacity=4)
+        reg.gauge("g").set(2.0)
+        store.sample(registry=reg)
+        path = str(tmp_path / "ts.json")
+        obs.write_timeseries_json(path, store=store)
+        loaded = obs.read_timeseries_json(path)
+        assert loaded.to_json() == store.to_json()
+
+
+class TestModuleHelpers:
+    def test_record_tick_noop_when_disabled(self):
+        assert not obs.is_enabled()
+        assert obs.record_tick() is None
+        assert obs.get_timeseries().num_samples == 0
+
+    def test_record_tick_samples_default_registry(self):
+        obs.configure(enabled=True)
+        obs.inc("frames", 3)
+        tick = obs.record_tick()
+        assert tick == 0
+        assert obs.get_timeseries().latest("frames") == 3.0
+
+    def test_set_timeseries_swaps_and_returns_old(self):
+        old = obs.get_timeseries()
+        fresh = TimeSeriesStore(capacity=4)
+        try:
+            assert obs.set_timeseries(fresh) is old
+            assert obs.get_timeseries() is fresh
+        finally:
+            obs.set_timeseries(old)
+
+
+class TestThreadedSampling:
+    def test_no_lost_increments_under_concurrent_ticks(self):
+        """N writer threads hammer one counter while a sampler ticks the
+        store; every increment must land exactly once — in the registry
+        total and, summed over deltas, in the time series."""
+        obs.configure(enabled=True)
+        store = TimeSeriesStore(capacity=4096)
+        reg = obs.get_registry()
+        threads, per_thread, samples = 8, 2000, 500
+        # writers + sampler + this thread all rendezvous before the race;
+        # samples stays far below capacity so no delta row is overwritten.
+        start = threading.Barrier(threads + 2)
+
+        def writer():
+            start.wait()
+            for _ in range(per_thread):
+                obs.inc("stress.counter")
+
+        def sampler():
+            start.wait()
+            for _ in range(samples):
+                store.sample(registry=reg)
+
+        workers = [threading.Thread(target=writer) for _ in range(threads)]
+        reader = threading.Thread(target=sampler)
+        for t in workers:
+            t.start()
+        reader.start()
+        start.wait()
+        for t in workers:
+            t.join()
+        reader.join()
+        store.sample(registry=reg)  # final sample catches the tail
+
+        expected = float(threads * per_thread)
+        values = store.values("stress.counter")
+        sampled = float(np.nansum(values))
+        registry_total = reg.counter("stress.counter").snapshot()
+        assert registry_total == expected
+        assert sampled == expected

@@ -287,6 +287,23 @@ class TestObservabilityFlags:
             if line.strip().startswith("stage."):
                 assert line in text2
 
+    def test_metrics_prom_out_writes_text_exposition(self, tmp_path):
+        snap = tmp_path / "metrics.json"
+        prom = tmp_path / "metrics.prom"
+        code, _ = run_cli(
+            ["metrics", "--task", "TA10", "--json-out", str(snap)] + FAST
+        )
+        assert code == 0
+        # The offline --from path must feed --prom-out from the saved
+        # snapshot, without re-running an evaluation.
+        code2, _ = run_cli(
+            ["metrics", "--from", str(snap), "--prom-out", str(prom)]
+        )
+        assert code2 == 0
+        text = prom.read_text()
+        assert "# TYPE repro_stage_frames_covered_total counter" in text
+        assert 'quantile="0.5"' in text
+
     def test_error_exits_1_with_structured_log(self, capsys):
         code, _ = run_cli(["evaluate", "--task", "NOPE"] + FAST)
         assert code == 1
@@ -310,3 +327,162 @@ class TestObservabilityFlags:
         ]
         events = {l["event"] for l in err_lines}
         assert "experiment.evaluate" in events
+
+
+class TestWatchCommand:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["watch"])
+        assert args.task == "TA10"
+        assert args.streams == 4
+        assert args.fault_rate == 0.0
+        assert args.failure_policy == "defer"
+        assert args.history == 240
+        assert not args.plain
+
+    def test_plain_run_renders_dashboard_and_summary(self, tmp_path):
+        ts = tmp_path / "ts.json"
+        fl = tmp_path / "flight.json"
+        code, text = run_cli(
+            ["watch", "--task", "TA10", "--plain", "--streams", "2",
+             "--max-horizons", "3", "--refresh-ticks", "2",
+             "--timeseries-out", str(ts), "--flight-out", str(fl)] + FAST
+        )
+        assert code == 0
+        assert "\x1b[" not in text  # --plain: no ANSI escapes
+        assert "== backpressure & health ==" in text
+        assert "== SLOs ==" in text
+        assert "recall-floor" in text
+        assert "== run summary ==" in text
+        assert "== SLO alert timeline ==" in text
+        # dumps flushed and loadable
+        store = obs.read_timeseries_json(str(ts))
+        assert store.num_samples > 0
+        assert "fleet.recall_cum" in store.names()
+        flight = json.loads(fl.read_text())
+        assert "_fleet" in flight["lanes"]
+
+    def test_chaos_mode_wraps_service(self, tmp_path):
+        ts = tmp_path / "ts.json"
+        code, text = run_cli(
+            ["watch", "--task", "TA10", "--plain", "--streams", "2",
+             "--max-horizons", "3", "--fault-rate", "0.4",
+             "--timeseries-out", str(ts)] + FAST
+        )
+        assert code == 0
+        store = obs.read_timeseries_json(str(ts))
+        # the resilient stack surfaces its retry telemetry in the series
+        assert any(name.startswith("ci.") for name in store.names())
+
+    def test_custom_slo_spec_file(self, tmp_path):
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps([{
+            "name": "cost-tight", "series": "fleet.tick_cost",
+            "objective": "ceiling", "target": 0.0, "budget": 0.25,
+            "long_window": 4, "short_window": 1,
+        }]))
+        code, text = run_cli(
+            ["watch", "--task", "TA10", "--plain", "--streams", "2",
+             "--max-horizons", "3", "--slo-spec", str(spec_file)] + FAST
+        )
+        assert code == 0
+        assert "cost-tight" in text
+        assert "recall-floor" not in text  # defaults replaced
+
+
+class TestSloCommand:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def _timeseries_dump(self, tmp_path, values):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.timeseries import TimeSeriesStore
+
+        reg = MetricsRegistry()
+        store = TimeSeriesStore(capacity=max(len(values), 2))
+        for v in values:
+            reg.gauge("fleet.recall_cum").set(v)
+            store.sample(registry=reg)
+        path = tmp_path / "ts.json"
+        obs.write_timeseries_json(str(path), store=store)
+        return path
+
+    def test_replay_flags_violations(self, tmp_path):
+        path = self._timeseries_dump(tmp_path, [0.9, 0.2, 0.2, 0.2, 0.2])
+        out_json = tmp_path / "slo.json"
+        code, text = run_cli(
+            ["slo", "--from", str(path), "--json-out", str(out_json)]
+        )
+        assert code == 0
+        assert "== SLO alert timeline ==" in text
+        assert "recall-floor" in text
+        assert "result: VIOLATED" in text
+        payload = json.loads(out_json.read_text())
+        assert payload["states"]["recall-floor"] == "page"
+        assert payload["timeline"]
+
+    def test_replay_clean_run_is_ok(self, tmp_path):
+        path = self._timeseries_dump(tmp_path, [0.95, 0.96, 0.97])
+        code, text = run_cli(["slo", "--from", str(path)])
+        assert code == 0
+        assert "(no alerts)" in text
+        assert "result: OK" in text
+
+    def test_metrics_snapshot_point_check(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.set_gauge("fleet.recall_cum", 0.5)
+        obs.set_gauge("fleet.tick_cost", 1.0)
+        path = tmp_path / "metrics.json"
+        obs.write_metrics_json(str(path))
+        code, text = run_cli(["slo", "--from", str(path)])
+        assert code == 0
+        assert "point check" in text
+        assert "violated" in text  # recall 0.5 < floor 0.85
+        assert "result: VIOLATED" in text
+
+    def test_custom_spec_file(self, tmp_path):
+        path = self._timeseries_dump(tmp_path, [0.9, 0.9])
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps([{
+            "name": "my-floor", "series": "fleet.recall_cum",
+            "objective": "floor", "target": 0.5,
+        }]))
+        code, text = run_cli(
+            ["slo", "--from", str(path), "--spec", str(spec_file)]
+        )
+        assert code == 0
+        assert "my-floor" in text and "result: OK" in text
+
+
+class TestMetricsOutFlag:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_metrics_out_flushes_registry_dump(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            ["evaluate", "--task", "TA10", "--metrics-out", str(path)] + FAST
+        )
+        assert code == 0
+        snapshot = obs.read_metrics_json(str(path))
+        assert snapshot["counters"]  # instrumentation was implied on
+
+    def test_metrics_out_flushes_even_when_command_dies(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            ["evaluate", "--task", "NOPE", "--metrics-out", str(path)] + FAST
+        )
+        assert code == 1
+        # shutdown() in the CLI's finally block still wrote the dump
+        assert path.exists()
