@@ -27,6 +27,7 @@ Package map:
 ``repro.cloud``     simulated CI: pricing, detection service, marshaller
 ``repro.metrics``   REC/SPL/REC_c/REC_r, expense, FPS timing model
 ``repro.harness``   tasks TA1–TA16, experiment runner, figure generators
+``repro.lifecycle`` versioned model registry, retraining, hot-swap
 ``repro.obs``       structured logs, metrics registry, span tracing
 ==================  ====================================================
 """

@@ -48,11 +48,13 @@ from .cloud import (
 )
 from .fleet import SCHEDULERS, FleetCIService
 from .ingest import IngestFaultPlan
+from .lifecycle import LifecycleFaultPlan
 from .harness import (
     ExperimentSettings,
     build_fleet_lanes,
     chaos_experiment,
     ingest_chaos_experiment,
+    lifecycle_chaos_experiment,
     fleet_marshaller,
     fleet_throughput_sweep,
     fig10_stage_breakdown,
@@ -265,6 +267,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the resolved base IngestFaultPlan to FILE (JSON) for "
         "reuse via --ingest-fault-plan",
+    )
+
+    lifecycle = sub.add_parser(
+        "lifecycle",
+        help="model-lifecycle chaos sweep: drift-triggered retraining, "
+        "canary gating, and crash-safe hot-swap under injected torn "
+        "checkpoint writes, corrupt manifests, retrain blow-ups, and "
+        "flaky canaries",
+    )
+    _add_experiment_args(lifecycle, "TA10")
+    lifecycle.add_argument(
+        "--lifecycle-fault-rates",
+        default="0,0.5,1,2",
+        help="comma-separated total lifecycle fault rates to sweep "
+        "(spread uniformly over the four hazard hooks)",
+    )
+    lifecycle.add_argument(
+        "--audit-rate",
+        type=float,
+        default=1.0,
+        help="probability each decided horizon is audited",
+    )
+    lifecycle.add_argument(
+        "--retrain-every",
+        type=int,
+        default=12,
+        metavar="N",
+        help="scheduled retraining: attempt a retrain every N audits "
+        "(keeps the sweep deterministic even without drift signals)",
+    )
+    lifecycle.add_argument("--max-horizons", type=int, default=25,
+                           help="horizons marshalled per cell")
+    lifecycle.add_argument(
+        "--lifecycle-fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON LifecycleFaultPlan to use as the base plan; its rates "
+        "are rescaled to each swept rate",
+    )
+    lifecycle.add_argument(
+        "--lifecycle-fault-plan-out",
+        default=None,
+        metavar="FILE",
+        help="write the resolved base LifecycleFaultPlan to FILE (JSON) "
+        "for reuse via --lifecycle-fault-plan",
     )
 
     fleet = sub.add_parser(
@@ -500,6 +547,29 @@ def _run_chaos(args: argparse.Namespace, out) -> None:
         base_plan=base_plan,
         breaker=breaker,
         failure_policy=args.failure_policy,
+        seed=args.seed,
+        max_horizons=args.max_horizons,
+    )
+    print(format_table(rows), file=out)
+
+
+def _run_lifecycle(args: argparse.Namespace, out) -> None:
+    """Lifecycle fault sweep: retrain/publish/canary/swap under chaos."""
+    if args.lifecycle_fault_plan is not None:
+        with open(args.lifecycle_fault_plan, "r", encoding="utf-8") as handle:
+            base_plan = LifecycleFaultPlan.from_json(handle.read())
+    else:
+        base_plan = LifecycleFaultPlan(seed=args.seed)
+    if args.lifecycle_fault_plan_out is not None:
+        with open(args.lifecycle_fault_plan_out, "w", encoding="utf-8") as handle:
+            handle.write(base_plan.to_json() + "\n")
+    rows = lifecycle_chaos_experiment(
+        args.task,
+        fault_rates=_parse_float_list(args.lifecycle_fault_rates),
+        settings=_settings(args),
+        base_plan=base_plan,
+        audit_rate=args.audit_rate,
+        retrain_every_audits=args.retrain_every,
         seed=args.seed,
         max_horizons=args.max_horizons,
     )
@@ -787,6 +857,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             _run_metrics(args, out)
         elif args.command == "chaos":
             _run_chaos(args, out)
+        elif args.command == "lifecycle":
+            _run_lifecycle(args, out)
         elif args.command == "fleet":
             _run_fleet(args, out)
         elif args.command == "watch":

@@ -98,6 +98,14 @@ class MarshallingReport:
     of horizons whose conformal coverage guarantees no longer hold —
     any horizon decided from an imputed collection window, predicting
     over invalid frames, or taken while the stream was not HEALTHY.
+
+    The lifecycle counters (``model_swaps`` / ``swap_voided_frames``) are
+    zero unless a :class:`~repro.lifecycle.LifecycleController` hot-swaps
+    the serving model mid-run; the first horizon decided by a freshly
+    swapped model is declared guarantee-voided (the online conformal
+    state is recalibrated at the swap boundary, and the guarantee is not
+    silently carried across versions), so ``swap_voided_frames`` is also
+    folded into ``guarantee_voided_frames``.
     """
 
     horizons_evaluated: int = 0
@@ -117,6 +125,8 @@ class MarshallingReport:
     guarantee_voided_frames: int = 0
     quarantined_frames: int = 0
     health_transitions: int = 0
+    model_swaps: int = 0
+    swap_voided_frames: int = 0
 
     @property
     def frame_recall(self) -> float:
@@ -176,6 +186,8 @@ class MarshallingReport:
             self.guarantee_voided_frames += other.guarantee_voided_frames
             self.quarantined_frames += other.quarantined_frames
             self.health_transitions += other.health_transitions
+            self.model_swaps += other.model_swaps
+            self.swap_voided_frames += other.swap_voided_frames
         return self
 
     @classmethod
@@ -203,6 +215,8 @@ class MarshallingReport:
             "guarantee_voided_frames": self.guarantee_voided_frames,
             "quarantined_frames": self.quarantined_frames,
             "health_transitions": self.health_transitions,
+            "model_swaps": self.model_swaps,
+            "swap_voided_frames": self.swap_voided_frames,
             "frame_recall": self.frame_recall,
             "effective_recall": self.effective_recall,
             "relay_fraction": self.relay_fraction,
@@ -542,6 +556,7 @@ class StreamMarshaller:
         failure_policy: str = "raise",
         max_deferrals: int = 8,
         guard: Optional[StreamGuard] = None,
+        lifecycle=None,
     ) -> MarshallingReport:
         """Marshal ``stream`` horizon by horizon through ``service``.
 
@@ -565,6 +580,14 @@ class StreamMarshaller:
         clean stream the guard returns the same feature object and every
         guard counter stays zero, so the report is byte-identical to an
         unguarded run.
+
+        ``lifecycle``, when given, is a
+        :class:`~repro.lifecycle.LifecycleController` (duck-typed: any
+        object with ``maybe_swap`` / ``observe``): staged model swaps are
+        applied at horizon boundaries — before the window is cut, so a
+        fresh version never decides from a stale forward pass — and every
+        decided horizon is offered for audit.  A lifecycle that never
+        swaps leaves the report byte-identical to a run without one.
         """
         if features.num_frames != stream.length:
             raise ValueError("feature matrix length != stream length")
@@ -631,9 +654,22 @@ class StreamMarshaller:
                                 service, horizon / stream.fps
                             )
                             continue
+                    if lifecycle is not None:
+                        lifecycle.maybe_swap(
+                            report, tick=report.horizons_evaluated
+                        )
                     window = self.pipeline.covariates_at(features, frame)
                     output = self.inference.predict(window[None])
                     exists, segments = self._decide(output)
+                    if lifecycle is not None:
+                        lifecycle.observe(
+                            stream,
+                            frame,
+                            window,
+                            output,
+                            exists,
+                            tick=report.horizons_evaluated,
+                        )
 
                     for k, event_type in enumerate(self.event_types):
                         # Ground truth within this horizon, for recall

@@ -5,6 +5,13 @@ checkpoint also needs the architecture (config, feature/event counts,
 encoder kind) so the model can be rebuilt without the training script.
 Checkpoints are a single ``.npz`` holding the parameters plus a JSON
 metadata entry — no pickle, safe to load.
+
+Writes are crash-safe: the archive is written to a sibling temp file,
+fsynced, and atomically renamed over the destination (the directory entry
+is fsynced too), so a crash mid-save leaves either the previous checkpoint
+or none — never a torn file at the final path.  The model registry
+(:mod:`repro.lifecycle`) builds its versioned store on this same
+discipline.
 """
 
 from __future__ import annotations
@@ -19,7 +26,12 @@ import numpy as np
 from .config import EventHitConfig
 from .model import EventHit
 
-__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "checkpoint_path",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 PathLike = Union[str, os.PathLike]
 
@@ -36,8 +48,40 @@ class CheckpointError(ValueError):
     """
 
 
-def save_checkpoint(model: EventHit, path: PathLike) -> None:
-    """Write architecture + parameters to ``path`` (``.npz``)."""
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory entry so an atomic rename survives a crash.
+
+    Platforms without directory fsync (e.g. Windows) skip silently — the
+    rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def checkpoint_path(path: PathLike) -> str:
+    """The final on-disk path for ``path`` (``np.savez`` appends ``.npz``
+    to paths lacking the extension; the atomic writer must match)."""
+    final = os.fspath(path)
+    if not isinstance(final, str):  # bytes paths
+        final = os.fsdecode(final)
+    if not final.endswith(".npz"):
+        final = final + ".npz"
+    return final
+
+
+def save_checkpoint(model: EventHit, path: PathLike) -> str:
+    """Write architecture + parameters to ``path`` (``.npz``).
+
+    Temp + fsync + atomic rename: the destination never holds a partial
+    archive, even if the process dies mid-write.  Returns the final path
+    (with the ``.npz`` extension ``np.savez`` would have appended).
+    """
     meta = {
         "format_version": _FORMAT_VERSION,
         "num_features": model.num_features,
@@ -49,7 +93,22 @@ def save_checkpoint(model: EventHit, path: PathLike) -> None:
     payload[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **payload)
+    final = checkpoint_path(path)
+    tmp = final + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        # A failed save must not leave a plausible-looking temp file for a
+        # later directory scan to trip over.
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    _fsync_directory(os.path.dirname(final))
+    return final
 
 
 def load_checkpoint(path: PathLike) -> EventHit:

@@ -211,7 +211,14 @@ class AdaptiveMarshaller:
         self.classifier.calibrate(records)
         self.regressor.calibrate(records)
         self.cusum.reset()
-        self.pvalue_detector.reset(keep_recent_as_reference=True)
+        # Hand the KS detector over to the new calibration: its retained
+        # p-values were computed against the *old* calibration set, so
+        # keeping them verbatim would poison the post-adaptation baseline.
+        # Recompute the buffered positives' p-values under the fresh
+        # calibration and rebase the reference window on those.
+        output = self.model.predict(records.covariates)
+        p_values = self.classifier.p_values(output)
+        self.pvalue_detector.rebase(p_values[records.labels > 0])
 
     # ------------------------------------------------------------------
     def run(

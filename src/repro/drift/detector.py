@@ -128,13 +128,35 @@ class PValueDriftDetector:
 
         With ``keep_recent_as_reference`` the recent window becomes the new
         post-drift reference (the world has changed; recalibrate to it).
+        The carried reference freezes as soon as it can support a verdict
+        (``min_samples``), not only when completely full: a partially full
+        reference that kept absorbing post-reset points would mix the two
+        regimes into one baseline and stall the next verdict by a whole
+        window (regression-pinned in ``tests/drift``).
         """
         if keep_recent_as_reference:
             self._reference = deque(self._recent, maxlen=self.window)
-            self._reference_frozen = len(self._reference) >= self.window
+            self._reference_frozen = len(self._reference) >= self.min_samples
         else:
             self._reference = deque(maxlen=self.window)
             self._reference_frozen = False
+        self._recent = deque(maxlen=self.window)
+
+    def rebase(self, p_values) -> None:
+        """Hand the detector over to a new model/calibration regime.
+
+        Seeds the reference window from ``p_values`` — the buffered
+        positives' p-values *recomputed under the new regime* — so
+        detection resumes immediately instead of restarting cold, and
+        without carrying stale p-values that were computed against the
+        old calibration set.  The newest ``window`` values are kept, and
+        the reference freezes once it can support a verdict.
+        """
+        values = np.atleast_1d(np.asarray(p_values, dtype=float)).ravel()
+        if values.size and (values.min() < 0.0 or values.max() > 1.0):
+            raise ValueError("p-values lie in [0, 1]")
+        self._reference = deque(values[-self.window:], maxlen=self.window)
+        self._reference_frozen = len(self._reference) >= self.min_samples
         self._recent = deque(maxlen=self.window)
 
 

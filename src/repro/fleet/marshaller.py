@@ -287,7 +287,7 @@ class FleetMarshaller:
         return True
 
     def _decide_tick(
-        self, active: List[_LaneState], tick: int
+        self, active: List[_LaneState], tick: int, lifecycle=None
     ) -> List[RelayRequest]:
         """One stacked forward pass; returns every lane's relay requests."""
         m = self.marshaller
@@ -302,7 +302,17 @@ class FleetMarshaller:
         # One batch-native decision pass for every lane: row i of the
         # batched output (and its segments) is bitwise the lane's solo
         # prediction, so this reproduces the sequential decisions.
-        _, segments_rows = m._decide(output)
+        exists_rows, segments_rows = m._decide(output)
+        if lifecycle is not None:
+            # Offer the decided tick for audit before frames advance;
+            # observation never mutates marshaller or report state.
+            lifecycle.observe_batch(
+                [(state.stream, state.frame) for state in active],
+                windows,
+                output,
+                exists_rows,
+                tick=tick,
+            )
         requests: List[RelayRequest] = []
         for i, state in enumerate(active):
             segments = segments_rows[i]
@@ -584,6 +594,7 @@ class FleetMarshaller:
         max_deferrals: int = 8,
         guard: Optional[StreamGuard] = None,
         on_tick=None,
+        lifecycle=None,
     ) -> FleetReport:
         """Marshal every lane tick by tick through the shared ``service``.
 
@@ -609,6 +620,14 @@ class FleetMarshaller:
         ``on_tick``, when given, is called as ``on_tick(tick)`` after
         every tick (telemetry for that tick, if enabled, has already been
         sampled) — the hook the ``watch`` dashboard redraws from.
+
+        ``lifecycle``, when given, is a
+        :class:`~repro.lifecycle.LifecycleController`: staged model swaps
+        apply at tick boundaries — before the stacked forward pass, so
+        every lane switches versions on the same tick — and each lane
+        predicting on that tick takes one horizon of
+        ``swap_voided_frames``.  A lifecycle that never swaps leaves every
+        report byte-identical to a run without one.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -688,10 +707,16 @@ class FleetMarshaller:
                                 state.last_health = health
                                 predicting.append(state)
                     if predicting:
+                        if lifecycle is not None:
+                            lifecycle.maybe_swap(
+                                [s.report for s in predicting], tick=tick
+                            )
                         report.max_batch_size = max(
                             report.max_batch_size, len(predicting)
                         )
-                        fresh = self._decide_tick(predicting, tick)
+                        fresh = self._decide_tick(
+                            predicting, tick, lifecycle=lifecycle
+                        )
                         if telemetry:
                             for request in fresh:
                                 tick_requests[request.lane] = (

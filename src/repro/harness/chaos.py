@@ -11,6 +11,7 @@ retries, breaker transitions, and report counters.
 
 from __future__ import annotations
 
+import tempfile
 from typing import Dict, List, Optional, Sequence
 
 from ..cloud import (
@@ -22,8 +23,16 @@ from ..cloud import (
     RetryPolicy,
     StreamMarshaller,
 )
+from ..conformal.classify import ConformalClassifier
+from ..conformal.regress import ConformalRegressor
 from ..features import CovariatePipeline
 from ..ingest import IngestFaultInjector, IngestFaultPlan, StreamGuard
+from ..lifecycle import (
+    LifecycleController,
+    LifecycleFaultInjector,
+    LifecycleFaultPlan,
+    ModelRegistry,
+)
 from ..obs import log_info, span
 from .experiments import Experiment, ExperimentSettings, run_experiment
 
@@ -32,11 +41,15 @@ __all__ = [
     "DEFAULT_RETRY_POLICIES",
     "DEFAULT_INGEST_FAULT_RATES",
     "DEFAULT_IMPUTATIONS",
+    "DEFAULT_LIFECYCLE_FAULT_RATES",
     "chaos_experiment",
     "chaos_marshaller",
     "ingest_chaos_experiment",
+    "lifecycle_chaos_experiment",
+    "lifecycle_marshaller",
     "run_chaos_cell",
     "run_ingest_chaos_cell",
+    "run_lifecycle_chaos_cell",
 ]
 
 #: Default raising-fault rates swept by the chaos harness.
@@ -56,6 +69,10 @@ DEFAULT_INGEST_FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
 #: is the unguarded baseline (corrupted features straight into the
 #: model); the rest name :data:`~repro.ingest.guard.IMPUTATION_POLICIES`.
 DEFAULT_IMPUTATIONS = ("none", "hold-last", "zero-fill", "linear-interp")
+
+#: Default total lifecycle-fault rates swept by the lifecycle chaos
+#: harness (spread uniformly over the four hazard hooks).
+DEFAULT_LIFECYCLE_FAULT_RATES = (0.0, 0.5, 1.0, 2.0)
 
 
 def chaos_marshaller(
@@ -275,4 +292,160 @@ def chaos_experiment(
                     cost=row["cost"],
                     retries=row["retries"],
                 )
+    return rows
+
+
+def lifecycle_marshaller(
+    experiment: Experiment,
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+) -> StreamMarshaller:
+    """A deployment-shaped marshaller with *private* conformal components.
+
+    Lifecycle swaps rebind and recalibrate the marshaller's classifier and
+    regressor in place; sharing the experiment's cached components (as
+    :func:`chaos_marshaller` does, correctly, for read-only runs) would
+    leak one chaos cell's swaps into the next.
+    """
+    marshaller = chaos_marshaller(experiment, confidence=confidence, alpha=alpha)
+    marshaller.classifier = ConformalClassifier(experiment.model).calibrate(
+        experiment.data.calibration
+    )
+    marshaller.regressor = ConformalRegressor(
+        experiment.model, tau2=experiment.regressor.tau2
+    ).calibrate(experiment.data.calibration)
+    return marshaller
+
+
+def run_lifecycle_chaos_cell(
+    experiment: Experiment,
+    plan: LifecycleFaultPlan,
+    registry_root: Optional[str] = None,
+    audit_rate: float = 1.0,
+    retrain_every_audits: int = 12,
+    min_positives: int = 1,
+    recall_margin: float = 0.2,
+    brier_margin: float = 0.5,
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+    seed: int = 0,
+    max_horizons: Optional[int] = None,
+) -> Dict[str, float]:
+    """One lifecycle fault plan: retrain/publish/canary/swap under chaos.
+
+    A fresh marshaller + registry per cell (in ``registry_root`` or an
+    ephemeral directory); scheduled retraining and a permissive canary
+    gate keep swap traffic flowing so every hazard hook actually fires —
+    the sweep measures crash-safety, not candidate quality.  After the
+    run the registry is **reopened from disk** (the crash-restart path:
+    manifest recovery plus artifact verification) and the last good
+    version it can actually serve is reported alongside the live stats.
+    """
+    marshaller = lifecycle_marshaller(experiment, confidence=confidence, alpha=alpha)
+    injector = LifecycleFaultInjector(plan)
+
+    def cell(root: str) -> Dict[str, float]:
+        registry = ModelRegistry(root, injector=injector)
+        controller = LifecycleController(
+            marshaller,
+            registry,
+            audit_rate=audit_rate,
+            retrain_every_audits=retrain_every_audits,
+            min_positives=min_positives,
+            recall_margin=recall_margin,
+            brier_margin=brier_margin,
+            seed=seed,
+            injector=injector,
+        )
+        controller.register_incumbent()
+        service = CloudInferenceService(experiment.data.test_stream)
+        report = marshaller.run(
+            experiment.data.test_stream,
+            experiment.data.test_features,
+            service,
+            max_horizons=max_horizons,
+            lifecycle=controller,
+        )
+        reopened = ModelRegistry(root)
+        last_good, _ = reopened.load_last_good()
+        return {
+            "fault_rate": plan.total_rate,
+            "REC": report.frame_recall,
+            "cost": report.total_cost,
+            "audits": controller.audits,
+            "retrains": controller.retrains,
+            "retrain_failures": controller.retrain_failures,
+            "publish_failures": controller.publish_failures,
+            "rollbacks": controller.rollbacks,
+            "swaps": controller.swaps,
+            "voided": report.swap_voided_frames,
+            "frames_lost": report.frames_lost,
+            "serving": controller.serving_version,
+            "last_good": last_good.version,
+            "manifest_recoveries": reopened.manifest_recoveries,
+            "faults": injector.stats.total,
+        }
+
+    if registry_root is not None:
+        return cell(registry_root)
+    with tempfile.TemporaryDirectory() as root:
+        return cell(root)
+
+
+def lifecycle_chaos_experiment(
+    task,
+    fault_rates: Sequence[float] = DEFAULT_LIFECYCLE_FAULT_RATES,
+    settings: Optional[ExperimentSettings] = None,
+    base_plan: Optional[LifecycleFaultPlan] = None,
+    audit_rate: float = 1.0,
+    retrain_every_audits: int = 12,
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+    seed: int = 0,
+    max_horizons: Optional[int] = None,
+    experiment: Optional[Experiment] = None,
+) -> List[Dict[str, float]]:
+    """Sweep lifecycle fault rates over one task's deployment.
+
+    The lifecycle mirror of :func:`chaos_experiment`: the CI and the
+    input stay perfect, and the *model lifecycle machinery* degrades —
+    torn checkpoint writes, corrupted manifests, retrain blow-ups, flaky
+    canaries.  One experiment backs the grid; each cell rescales
+    ``base_plan`` (default: a uniform plan seeded with ``seed``) to the
+    cell's total fault rate.  Deterministic end to end: the same seed and
+    rates reproduce identical retrains, faults, swaps, and reports.
+    """
+    if experiment is None:
+        experiment = run_experiment(task, settings=settings)
+    if base_plan is None:
+        base_plan = LifecycleFaultPlan(seed=seed)
+    rows: List[Dict[str, float]] = []
+    with span(
+        "chaos.lifecycle",
+        task=experiment.task.task_id,
+        cells=len(fault_rates),
+    ):
+        for rate in fault_rates:
+            plan = base_plan.with_total_rate(rate)
+            with span("chaos.lifecycle_cell", fault_rate=rate):
+                row = run_lifecycle_chaos_cell(
+                    experiment,
+                    plan,
+                    audit_rate=audit_rate,
+                    retrain_every_audits=retrain_every_audits,
+                    confidence=confidence,
+                    alpha=alpha,
+                    seed=seed,
+                    max_horizons=max_horizons,
+                )
+            rows.append(row)
+            log_info(
+                "chaos.lifecycle_cell",
+                fault_rate=rate,
+                retrains=row["retrains"],
+                swaps=row["swaps"],
+                rollbacks=row["rollbacks"],
+                serving=row["serving"],
+                last_good=row["last_good"],
+            )
     return rows

@@ -94,6 +94,7 @@ def run_fleet(
     max_horizons: Optional[int] = None,
     failure_policy: str = "raise",
     on_tick=None,
+    lifecycle=None,
 ) -> FleetReport:
     """One fleet run over a fresh shared service (convenience wrapper)."""
     service = FleetCIService([lane.stream for lane in lanes])
@@ -103,6 +104,7 @@ def run_fleet(
         max_horizons=max_horizons,
         failure_policy=failure_policy,
         on_tick=on_tick,
+        lifecycle=lifecycle,
     )
 
 

@@ -1,0 +1,375 @@
+"""Versioned model registry with crash-safe persistence.
+
+The registry is the durable half of the lifecycle story: every trained
+EventHit the controller wants to serve is *published* as an immutable,
+content-hashed version, and a JSON manifest records what each version is
+and whether it ever proved itself (``candidate`` → ``good``) or failed
+(``rolled-back``, ``corrupt``).
+
+Durability discipline, at every layer:
+
+* **checkpoints** — written via :func:`repro.core.save_checkpoint`
+  (temp + fsync + atomic rename), then recorded in the manifest with a
+  sha256 content hash computed from the bytes on disk at publish time;
+* **manifest** — written with the same temp + fsync + rename discipline,
+  carries a self-checksum over its entries, and keeps the previous valid
+  manifest as ``manifest.json.bak``.  A garbled manifest is detected on
+  read (bad JSON *or* bad checksum) and recovery falls back to the
+  backup, losing at most the final mutation;
+* **loads** — :meth:`ModelRegistry.load` re-hashes the artifact before
+  deserializing it, so a torn or bit-rotted file is caught *before*
+  :func:`~repro.core.load_checkpoint` ever parses it, the version is
+  marked ``corrupt`` in the manifest, and
+  :meth:`ModelRegistry.load_last_good` walks back to the newest version
+  that still verifies.
+
+Nothing here ever deletes a checkpoint: rollback is a status change, so
+postmortems can always reload the exact artifact that misbehaved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.checkpoint import _fsync_directory, load_checkpoint, save_checkpoint
+from ..core.model import EventHit
+from ..obs import inc, log_info, log_warning, span
+from .faults import LifecycleFaultInjector
+
+__all__ = ["RegistryError", "ModelVersion", "ModelRegistry", "VERSION_STATUSES"]
+
+#: Lifecycle states of one published version.
+VERSION_STATUSES = ("candidate", "good", "rolled-back", "corrupt")
+
+_MANIFEST_FORMAT_VERSION = 1
+
+
+class RegistryError(RuntimeError):
+    """The registry cannot satisfy a request (corrupt artifact, unknown
+    version, unrecoverable manifest)."""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable manifest entry."""
+
+    version: int
+    filename: str
+    sha256: str
+    status: str = "candidate"
+    source: str = "retrain"
+    tick: int = 0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError("version numbers start at 1")
+        if self.status not in VERSION_STATUSES:
+            raise ValueError(
+                f"status must be one of {VERSION_STATUSES}, got {self.status!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModelVersion":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ModelVersion fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _entries_checksum(entries: List[Dict[str, object]]) -> str:
+    canonical = json.dumps(
+        {"format_version": _MANIFEST_FORMAT_VERSION, "entries": entries},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ModelRegistry:
+    """Filesystem-backed store of versioned EventHit checkpoints.
+
+    Layout::
+
+        root/
+          manifest.json        # entries + self-checksum
+          manifest.json.bak    # previous valid manifest
+          versions/
+            v0001.npz
+            v0002.npz
+
+    ``injector`` (a :class:`~repro.lifecycle.faults.LifecycleFaultInjector`)
+    wires the seeded chaos hooks into the hazard points: a torn checkpoint
+    write after publish, a garbled manifest after a manifest write.
+    """
+
+    MANIFEST = "manifest.json"
+    BACKUP = "manifest.json.bak"
+
+    def __init__(
+        self,
+        root: "str | os.PathLike",
+        injector: Optional[LifecycleFaultInjector] = None,
+    ):
+        self.root = os.fspath(root)
+        self.versions_dir = os.path.join(self.root, "versions")
+        os.makedirs(self.versions_dir, exist_ok=True)
+        self.injector = injector
+        self.manifest_path = os.path.join(self.root, self.MANIFEST)
+        self.backup_path = os.path.join(self.root, self.BACKUP)
+        #: Times a corrupt manifest was recovered from the backup.
+        self.manifest_recoveries = 0
+        self._entries: List[ModelVersion] = self._load_entries()
+
+    # ------------------------------------------------------------------
+    # Manifest persistence
+    # ------------------------------------------------------------------
+    def _parse_manifest(self, path: str) -> Optional[List[ModelVersion]]:
+        """Entries from ``path``, or ``None`` when missing/corrupt."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        try:
+            if data.get("format_version") != _MANIFEST_FORMAT_VERSION:
+                return None
+            raw_entries = data["entries"]
+            if data.get("checksum") != _entries_checksum(raw_entries):
+                return None
+            return [ModelVersion.from_dict(item) for item in raw_entries]
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return None
+
+    def _load_entries(self) -> List[ModelVersion]:
+        entries = self._parse_manifest(self.manifest_path)
+        if entries is not None:
+            return entries
+        recovered = self._parse_manifest(self.backup_path)
+        if recovered is not None:
+            self.manifest_recoveries += 1
+            inc("lifecycle.manifest_recovered")
+            log_warning(
+                "lifecycle.manifest_recovered",
+                root=self.root,
+                entries=len(recovered),
+            )
+            # Heal the primary so the next reader doesn't pay again.
+            self._write_manifest_file(recovered)
+            return recovered
+        if os.path.exists(self.manifest_path):
+            raise RegistryError(
+                f"manifest at {self.manifest_path!r} is corrupt and no "
+                "valid backup exists"
+            )
+        return []
+
+    def _write_manifest_file(self, entries: List[ModelVersion]) -> None:
+        raw_entries = [entry.to_dict() for entry in entries]
+        payload = {
+            "format_version": _MANIFEST_FORMAT_VERSION,
+            "entries": raw_entries,
+            "checksum": _entries_checksum(raw_entries),
+        }
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+        _fsync_directory(self.root)
+
+    def _commit(self) -> None:
+        """Back up the current valid manifest, write the new one, then
+        let the chaos hook garble it (recovery is the next reader's
+        problem — exactly as with real bit rot)."""
+        if self._parse_manifest(self.manifest_path) is not None:
+            # The backup must only ever hold a *valid* manifest; backing
+            # up garbage would defeat recovery.
+            tmp = self.backup_path + ".tmp"
+            with open(self.manifest_path, "rb") as src, open(tmp, "wb") as dst:
+                dst.write(src.read())
+                dst.flush()
+                os.fsync(dst.fileno())
+            os.replace(tmp, self.backup_path)
+        self._write_manifest_file(self._entries)
+        if self.injector is not None:
+            self.injector.corrupt_manifest(self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self) -> List[ModelVersion]:
+        return list(self._entries)
+
+    def get(self, version: int) -> ModelVersion:
+        for entry in self._entries:
+            if entry.version == version:
+                return entry
+        raise RegistryError(f"no version {version} in registry {self.root!r}")
+
+    @property
+    def latest_version(self) -> Optional[int]:
+        if not self._entries:
+            return None
+        return max(entry.version for entry in self._entries)
+
+    @property
+    def latest_good(self) -> Optional[ModelVersion]:
+        good = [entry for entry in self._entries if entry.status == "good"]
+        if not good:
+            return None
+        return max(good, key=lambda entry: entry.version)
+
+    def path_of(self, entry: ModelVersion) -> str:
+        return os.path.join(self.versions_dir, entry.filename)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        model: EventHit,
+        source: str = "retrain",
+        tick: int = 0,
+        status: str = "candidate",
+        note: str = "",
+    ) -> ModelVersion:
+        """Persist ``model`` as the next version and record it.
+
+        The content hash is computed from the bytes the atomic writer
+        committed; an injected torn write then damages the file *after*
+        the hash is on the books, which is precisely how
+        :meth:`load`'s verification catches it.
+        """
+        version = (self.latest_version or 0) + 1
+        filename = f"v{version:04d}.npz"
+        with span("lifecycle.publish", version=version, source=source):
+            final = save_checkpoint(
+                model, os.path.join(self.versions_dir, filename)
+            )
+            digest = _sha256_file(final)
+            if self.injector is not None:
+                self.injector.tear_write(final)
+            entry = ModelVersion(
+                version=version,
+                filename=filename,
+                sha256=digest,
+                status=status,
+                source=source,
+                tick=int(tick),
+                note=note,
+            )
+            self._entries.append(entry)
+            self._commit()
+        inc("lifecycle.publishes")
+        log_info(
+            "lifecycle.published",
+            version=version,
+            status=status,
+            source=source,
+            tick=int(tick),
+        )
+        return entry
+
+    def mark(self, version: int, status: str) -> ModelVersion:
+        """Transition ``version`` to ``status`` and persist the manifest."""
+        if status not in VERSION_STATUSES:
+            raise ValueError(
+                f"status must be one of {VERSION_STATUSES}, got {status!r}"
+            )
+        for i, entry in enumerate(self._entries):
+            if entry.version == version:
+                updated = replace(entry, status=status)
+                self._entries[i] = updated
+                self._commit()
+                inc(f"lifecycle.marked.{status}")
+                log_info("lifecycle.marked", version=version, status=status)
+                return updated
+        raise RegistryError(f"no version {version} in registry {self.root!r}")
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, version: Optional[int] = None) -> EventHit:
+        """Verify and deserialize one version (default: the latest good).
+
+        Verification order: content hash first (catches torn/bit-rotted
+        bytes without parsing them), then the checkpoint loader's own
+        structural checks.  Any failure marks the version ``corrupt`` in
+        the manifest and raises :class:`RegistryError`.
+        """
+        if version is None:
+            entry = self.latest_good
+            if entry is None:
+                raise RegistryError(f"registry {self.root!r} has no good version")
+        else:
+            entry = self.get(version)
+        path = self.path_of(entry)
+        with span("lifecycle.load", version=entry.version):
+            try:
+                actual = _sha256_file(path)
+            except OSError as exc:
+                self._quarantine(entry)
+                raise RegistryError(
+                    f"version {entry.version} is unreadable: {exc}"
+                ) from exc
+            if actual != entry.sha256:
+                self._quarantine(entry)
+                raise RegistryError(
+                    f"version {entry.version} failed content verification "
+                    f"(expected sha256 {entry.sha256[:12]}…, got {actual[:12]}…)"
+                )
+            try:
+                return load_checkpoint(path)
+            # np.load raises zipfile/OS errors on torn archives, the
+            # loader raises CheckpointError on structural damage — either
+            # way the artifact is unservable.
+            except Exception as exc:
+                self._quarantine(entry)
+                raise RegistryError(
+                    f"version {entry.version} failed to deserialize: {exc}"
+                ) from exc
+
+    def _quarantine(self, entry: ModelVersion) -> None:
+        if entry.status != "corrupt":
+            self.mark(entry.version, "corrupt")
+        inc("lifecycle.corrupt_detected")
+        log_warning(
+            "lifecycle.corrupt_version", version=entry.version, file=entry.filename
+        )
+
+    def load_last_good(self) -> Tuple[ModelVersion, EventHit]:
+        """The newest ``good`` version that still verifies on disk.
+
+        Versions that fail verification are marked ``corrupt`` along the
+        way; raises :class:`RegistryError` only when *no* good version
+        survives — the one situation the lifecycle cannot hide.
+        """
+        while True:
+            entry = self.latest_good
+            if entry is None:
+                raise RegistryError(
+                    f"registry {self.root!r} has no loadable good version"
+                )
+            try:
+                return self.get(entry.version), self.load(entry.version)
+            except RegistryError:
+                # load() already marked it corrupt; walk further back.
+                continue

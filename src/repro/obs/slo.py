@@ -261,8 +261,14 @@ def default_fleet_slos(
     latency_p99_seconds: float = 2.0,
     cost_per_tick: float = 25.0,
     frames_lost_ratio: float = 0.05,
+    model_staleness_ticks: float = 500.0,
 ) -> Tuple[SLOSpec, ...]:
-    """The four objectives the issue's fleet runs track by default."""
+    """The standing objectives the fleet runs track by default.
+
+    The model-staleness entry only produces samples when a
+    :class:`~repro.lifecycle.LifecycleController` is attached (its gauge
+    is otherwise never set, and a series with no samples never violates).
+    """
     return (
         SLOSpec(
             name="recall-floor", series="fleet.recall_cum",
@@ -283,6 +289,11 @@ def default_fleet_slos(
             name="frames-lost-ratio", series="fleet.frames_lost_ratio",
             objective="ceiling", target=frames_lost_ratio, budget=0.10,
             description="cumulative frames lost / frames covered",
+        ),
+        SLOSpec(
+            name="model-staleness", series="lifecycle.model_staleness",
+            objective="ceiling", target=model_staleness_ticks, budget=0.10,
+            description="ticks since the serving model was last refreshed",
         ),
     )
 

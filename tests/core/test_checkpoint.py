@@ -227,3 +227,95 @@ class TestCheckpointHardening:
     def test_clean_checkpoint_still_loads(self, checkpoint):
         model = load_checkpoint(checkpoint)
         assert model.num_features == 4
+
+
+class TestCrashSafety:
+    """The atomic-write contract: a crash mid-save leaves either the
+    previous checkpoint or nothing at the final path — never a torn file,
+    and never a stray temp file."""
+
+    def test_save_returns_final_path_with_extension(self, tmp_path):
+        import os
+
+        model = EventHit(4, 2, config=small_config())
+        final = save_checkpoint(model, tmp_path / "model")
+        assert final.endswith(".npz")
+        assert os.path.exists(final)
+        load_checkpoint(final)
+
+    def test_crash_mid_write_leaves_no_file(self, tmp_path, monkeypatch):
+        import os
+
+        import repro.core.checkpoint as ckpt
+
+        model = EventHit(4, 2, config=small_config())
+        path = tmp_path / "model.npz"
+
+        def torn_savez(fh, **payload):
+            fh.write(b"PK\x03\x04 half an archive")
+            raise RuntimeError("disk died mid-write")
+
+        monkeypatch.setattr(ckpt.np, "savez", torn_savez)
+        with pytest.raises(RuntimeError, match="disk died"):
+            save_checkpoint(model, path)
+        assert not os.path.exists(path)
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_crash_mid_write_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        import repro.core.checkpoint as ckpt
+
+        old = EventHit(4, 2, config=small_config(seed=1))
+        path = tmp_path / "model.npz"
+        save_checkpoint(old, path)
+
+        def torn_savez(fh, **payload):
+            fh.write(b"\x00" * 64)
+            raise RuntimeError("power loss")
+
+        monkeypatch.setattr(ckpt.np, "savez", torn_savez)
+        with pytest.raises(RuntimeError):
+            save_checkpoint(EventHit(4, 2, config=small_config(seed=2)), path)
+        assert not os.path.exists(str(path) + ".tmp")
+        restored = load_checkpoint(path)
+        x = np.random.default_rng(0).normal(size=(2, 5, 4))
+        np.testing.assert_allclose(
+            old.predict(x).scores, restored.predict(x).scores
+        )
+
+    def test_crash_at_rename_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        old = EventHit(4, 2, config=small_config(seed=1))
+        path = tmp_path / "model.npz"
+        save_checkpoint(old, path)
+
+        def refuse_replace(src, dst):
+            raise OSError("rename interrupted")
+
+        monkeypatch.setattr(os, "replace", refuse_replace)
+        with pytest.raises(OSError, match="rename interrupted"):
+            save_checkpoint(EventHit(4, 2, config=small_config(seed=2)), path)
+        monkeypatch.undo()
+        assert not os.path.exists(str(path) + ".tmp")
+        restored = load_checkpoint(path)
+        x = np.random.default_rng(0).normal(size=(2, 5, 4))
+        np.testing.assert_allclose(
+            old.predict(x).scores, restored.predict(x).scores
+        )
+
+    def test_successful_resave_replaces_atomically(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(EventHit(4, 2, config=small_config(seed=1)), path)
+        new = EventHit(4, 2, config=small_config(seed=2))
+        save_checkpoint(new, path)
+        restored = load_checkpoint(path)
+        x = np.random.default_rng(0).normal(size=(2, 5, 4))
+        np.testing.assert_allclose(
+            new.predict(x).scores, restored.predict(x).scores
+        )

@@ -77,6 +77,75 @@ class TestPValueDriftDetector:
         assert detector.reference_size == 5
         assert detector.recent_size == 1
 
+    def test_reset_freezes_partial_reference_at_min_samples(self):
+        """Regression pin for the reset boundary: a carried reference with
+        at least ``min_samples`` points must freeze immediately.  It used
+        to keep absorbing post-reset points until completely full, mixing
+        the old and new regimes into one baseline and stalling the next
+        verdict by a whole window."""
+        detector = PValueDriftDetector(window=20, min_samples=5)
+        detector.observe_many(np.full(20, 0.8))  # reference fills
+        detector.observe_many(np.full(8, 0.1))  # recent: the new regime
+        detector.reset(keep_recent_as_reference=True)
+        assert detector.reference_size == 8
+        # New observations must land in the recent window, not dilute the
+        # carried reference.
+        detector.observe_many(np.full(6, 0.9))
+        assert detector.reference_size == 8
+        assert detector.recent_size == 6
+        # And the detector can already issue a verdict against the carried
+        # baseline — no whole-window warmup stall.
+        assert detector.check().drifted
+
+    def test_reset_below_min_samples_keeps_filling(self):
+        detector = PValueDriftDetector(window=20, min_samples=5)
+        detector.observe_many(np.full(20, 0.8))
+        detector.observe_many(np.full(3, 0.1))  # too few to stand alone
+        detector.reset(keep_recent_as_reference=True)
+        assert detector.reference_size == 3
+        detector.observe(0.2)
+        assert detector.reference_size == 4
+        assert detector.recent_size == 0
+
+    def test_rebase_seeds_frozen_reference(self):
+        detector = PValueDriftDetector(window=10, min_samples=5)
+        detector.observe_many(np.full(10, 0.9))  # old regime
+        detector.observe_many(np.full(4, 0.2))
+        detector.rebase(np.full(6, 0.5))
+        assert detector.reference_size == 6
+        assert detector.recent_size == 0
+        detector.observe(0.5)
+        assert detector.reference_size == 6  # frozen: new point goes recent
+        assert detector.recent_size == 1
+
+    def test_rebase_keeps_newest_window(self):
+        detector = PValueDriftDetector(window=5, min_samples=2)
+        detector.rebase(np.linspace(0.0, 1.0, 20))
+        assert detector.reference_size == 5
+        assert list(detector._reference) == pytest.approx(
+            list(np.linspace(0.0, 1.0, 20)[-5:])
+        )
+
+    def test_rebase_validates_range(self):
+        detector = PValueDriftDetector()
+        with pytest.raises(ValueError):
+            detector.rebase([0.5, 1.5])
+
+    def test_rebase_empty_restarts_cold(self):
+        detector = PValueDriftDetector(window=10, min_samples=5)
+        detector.observe_many(np.full(10, 0.9))
+        detector.rebase([])
+        assert detector.reference_size == 0
+        detector.observe(0.4)
+        assert detector.reference_size == 1  # unfrozen: filling again
+
+    def test_detection_resumes_after_rebase(self):
+        rng = np.random.default_rng(0)
+        detector = PValueDriftDetector(window=40, significance=0.01, min_samples=10)
+        detector.rebase(rng.uniform(size=40))
+        detector.observe_many(rng.uniform(0, 0.05, size=40))
+        assert detector.check().drifted
+
     @given(st.integers(0, 500))
     @settings(max_examples=25, deadline=None)
     def test_false_alarm_rate_controlled(self, seed):

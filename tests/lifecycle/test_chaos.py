@@ -1,0 +1,121 @@
+"""Tests for the lifecycle chaos harness: seeded fault sweeps over the
+retrain → publish → canary → swap pipeline."""
+
+import pytest
+
+from repro.harness import (
+    DEFAULT_LIFECYCLE_FAULT_RATES,
+    ExperimentSettings,
+    lifecycle_chaos_experiment,
+    run_experiment,
+    run_lifecycle_chaos_cell,
+)
+from repro.lifecycle import LifecycleFaultPlan
+
+FAST = ExperimentSettings(scale=0.05, max_records=100, epochs=2, seed=0)
+
+ROW_KEYS = {
+    "fault_rate",
+    "REC",
+    "cost",
+    "audits",
+    "retrains",
+    "retrain_failures",
+    "publish_failures",
+    "rollbacks",
+    "swaps",
+    "voided",
+    "frames_lost",
+    "serving",
+    "last_good",
+    "manifest_recoveries",
+    "faults",
+}
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment("TA10", settings=FAST)
+
+
+class TestDefaults:
+    def test_default_grid_starts_fault_free(self):
+        assert DEFAULT_LIFECYCLE_FAULT_RATES[0] == 0.0
+
+
+@pytest.mark.chaos
+class TestLifecycleChaosExperiment:
+    def test_grid_shape_and_row_schema(self, experiment):
+        rows = lifecycle_chaos_experiment(
+            "TA10",
+            fault_rates=(0.0, 1.0),
+            retrain_every_audits=6,
+            experiment=experiment,
+            max_horizons=15,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row) == ROW_KEYS
+        assert [r["fault_rate"] for r in rows] == [
+            pytest.approx(0.0),
+            pytest.approx(1.0),
+        ]
+
+    def test_fault_free_cell_swaps_cleanly(self, experiment):
+        (row,) = lifecycle_chaos_experiment(
+            "TA10",
+            fault_rates=(0.0,),
+            retrain_every_audits=6,
+            experiment=experiment,
+            max_horizons=15,
+        )
+        assert row["faults"] == 0
+        assert row["retrain_failures"] == 0
+        assert row["publish_failures"] == 0
+        assert row["frames_lost"] == 0
+        assert row["manifest_recoveries"] == 0
+        # Scheduled retraining with a permissive gate keeps swap traffic
+        # flowing on the clean path.
+        assert row["retrains"] >= 1
+        assert row["swaps"] >= 1
+        assert row["serving"] == row["last_good"]
+
+    def test_sweep_is_deterministic(self, experiment):
+        def run():
+            return lifecycle_chaos_experiment(
+                "TA10",
+                fault_rates=(0.0, 2.0),
+                base_plan=LifecycleFaultPlan.uniform(1.0, seed=7),
+                retrain_every_audits=6,
+                experiment=experiment,
+                max_horizons=15,
+            )
+
+        assert run() == run()
+
+    def test_every_cell_ends_with_a_servable_good_version(self, experiment):
+        """The acceptance pin: whatever the fault rate, the reopened
+        registry (the crash-restart path) serves a verified good model."""
+        rows = lifecycle_chaos_experiment(
+            "TA10",
+            fault_rates=(0.5, 1.0, 4.0),
+            retrain_every_audits=6,
+            experiment=experiment,
+            max_horizons=15,
+        )
+        assert any(row["faults"] > 0 for row in rows)
+        for row in rows:
+            assert row["last_good"] >= 1
+            assert row["frames_lost"] == 0
+
+    def test_cell_reuses_persistent_registry_root(self, experiment, tmp_path):
+        plan = LifecycleFaultPlan(seed=3).with_total_rate(1.0)
+        row = run_lifecycle_chaos_cell(
+            experiment,
+            plan,
+            registry_root=str(tmp_path / "reg"),
+            retrain_every_audits=6,
+            max_horizons=15,
+        )
+        assert (tmp_path / "reg" / "manifest.json").exists()
+        assert row["fault_rate"] == pytest.approx(1.0)

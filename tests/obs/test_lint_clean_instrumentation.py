@@ -464,3 +464,107 @@ def test_registry_access_rules_exempt_obs_itself(tmp_path):
     assert scan_registry_private_access(planted, root=tmp_path) == []
 
 
+# ----------------------------------------------------------------------
+# Checkpoint writes: only the atomic writers open binary files for write
+# ----------------------------------------------------------------------
+# The crash-safety story (temp + fsync + atomic rename; see
+# repro/core/checkpoint.py and the repro.lifecycle registry) only holds if
+# every persisted artifact goes through it.  A raw ``open(path, "wb")``
+# anywhere else in src/repro is a torn-write hazard: a crash mid-write
+# leaves a half-file at the final path that a later load will trip over.
+# Allowlisted: the atomic writers themselves (``nn/serialization.py``,
+# ``core/checkpoint.py``) and ``repro/lifecycle/`` (its manifest/backup
+# writer follows the same temp+fsync+rename discipline).
+
+_BINARY_WRITE_ALLOWLIST = ("nn/serialization.py", "core/checkpoint.py")
+_BINARY_WRITE_ALLOWED_SUBDIR = "lifecycle"
+_BINARY_WRITE_MODES = ("wb", "w+b", "ab", "a+b", "xb", "x+b")
+
+
+def _is_allowlisted_writer(path):
+    if _BINARY_WRITE_ALLOWED_SUBDIR in path.parent.parts:
+        return True
+    return any(str(path).endswith(name) for name in _BINARY_WRITE_ALLOWLIST)
+
+
+def scan_binary_writes(path, root=None):
+    """Raw binary-write ``open`` calls in one file outside the writers."""
+    root = root or SRC_ROOT.parent
+    rel = path.relative_to(root) if path.is_relative_to(root) else path
+    if _is_allowlisted_writer(path):
+        return []
+    with open(path, "rb") as handle:
+        tokens = [
+            tok
+            for tok in tokenize.tokenize(handle.readline)
+            if tok.type in (tokenize.NAME, tokenize.OP, tokenize.STRING)
+        ]
+    found = []
+    for i, tok in enumerate(tokens):
+        if tok.type != tokenize.NAME or tok.string != "open":
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        if prev is not None and prev.string == ".":  # os.open etc. differ
+            continue
+        if nxt is None or nxt.string != "(":
+            continue
+        for j in _call_token_slice(tokens, i + 1):
+            if tokens[j].type != tokenize.STRING:
+                continue
+            try:
+                value = ast.literal_eval(tokens[j].string)
+            except (SyntaxError, ValueError):
+                continue
+            if value in _BINARY_WRITE_MODES:
+                found.append(
+                    f"{rel}:{tok.start[0]}: open(..., {value!r}) — binary "
+                    "artifact writes must go through the atomic "
+                    "temp+fsync+rename writers (repro.core.save_checkpoint "
+                    "/ the lifecycle registry), never a raw open"
+                )
+                break
+    return found
+
+
+def test_src_has_no_raw_binary_checkpoint_writes():
+    violations = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        violations.extend(scan_binary_writes(path))
+    assert not violations, "\n".join(violations)
+
+
+def test_binary_write_scan_catches_planted_violations(tmp_path):
+    planted = tmp_path / "bad.py"
+    planted.write_text(
+        '"""open(path, "wb") in a docstring is fine."""\n'
+        "fh = open(path, 'wb')\n"
+        "with open(path, mode='w+b') as f:\n"
+        "    pass\n"
+        "with open(path, 'rb') as f:\n"  # reads: allowed
+        "    pass\n"
+        "with open(path, 'r+b') as f:\n"  # in-place edit, not a fresh write
+        "    pass\n"
+        "os.open(path, os.O_WRONLY)\n"  # different API, not flagged here
+        "with open(path, 'w') as f:\n"  # text writes are not checkpoints
+        "    pass\n"
+    )
+    hits = scan_binary_writes(planted, root=tmp_path)
+    assert len(hits) == 2
+    assert "bad.py:2" in hits[0] and "'wb'" in hits[0]
+    assert "bad.py:3" in hits[1] and "'w+b'" in hits[1]
+
+
+def test_binary_write_rules_exempt_the_atomic_writers(tmp_path):
+    core_dir = tmp_path / "core"
+    core_dir.mkdir()
+    writer = core_dir / "checkpoint.py"
+    writer.write_text("fh = open(path, 'wb')\n")
+    assert scan_binary_writes(writer, root=tmp_path) == []
+    lifecycle_dir = tmp_path / "lifecycle"
+    lifecycle_dir.mkdir()
+    registry = lifecycle_dir / "registry.py"
+    registry.write_text("fh = open(path, 'wb')\n")
+    assert scan_binary_writes(registry, root=tmp_path) == []
+
+
