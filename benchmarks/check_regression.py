@@ -6,27 +6,42 @@ committed ``benchmarks/BENCH_baseline.json`` and exits non-zero if any
 gated metric regressed beyond the threshold.
 
 Only *machine-independent* metrics are gated: benchmarks publish ratio
-metrics (currently the fleet:sequential ``speedup``) through
-``benchmark.extra_info``, and those ratios are comparable across runners
-where absolute wall-clock is not.
+metrics (``speedup``) through ``benchmark.extra_info``, and those ratios
+are comparable across runners where absolute wall-clock is not.
 
 Usage::
 
     # check a fresh report against the committed baseline (CI)
     python benchmarks/check_regression.py BENCH_<sha>.json
 
+    # compare two reports head-to-head (the bench-compare CI job:
+    # PR head vs merge-base, markdown table for the job summary)
+    python benchmarks/check_regression.py BENCH_head.json \\
+        --compare BENCH_base.json --markdown-out summary.md
+
     # refresh the baseline after an intentional performance change
+    # (--dry-run first: shows the diff without writing)
     python benchmarks/check_regression.py BENCH_<sha>.json --update-baseline
+
+    # verify every gated benchmark in benchmarks/test_*.py is registered
+    # in the baseline (no report needed; pure static scan)
+    python benchmarks/check_regression.py --check-registered
+
+Every benchmark that publishes a gated metric must be registered in the
+baseline: an unregistered gate fails the check (``--allow-unregistered``
+restores the old warning-only behavior).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import json
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+BENCH_DIR = Path(__file__).parent
+DEFAULT_BASELINE = BENCH_DIR / "BENCH_baseline.json"
 
 #: extra_info keys gated by the regression check (higher is better).
 GATED_METRICS = ("speedup",)
@@ -50,7 +65,97 @@ def extract_gated(report: dict) -> dict:
     return gated
 
 
-def update_baseline(gated: dict, baseline_path: Path, threshold: float) -> None:
+def registered_gates(bench_dir: Path = BENCH_DIR) -> dict:
+    """Statically scan ``test_*.py`` for tests that publish a gated metric.
+
+    Returns {test function name: source file name} for every test whose
+    body assigns ``...extra_info["<gated metric>"]`` — the set of gates
+    the baseline must register.  AST-based, so the scan needs neither the
+    benchmarks to run nor their imports to resolve.
+    """
+    found = {}
+    for path in sorted(bench_dir.glob("test_*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.FunctionDef)
+                and node.name.startswith("test_")
+            ):
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Subscript)
+                    and isinstance(sub.value, ast.Attribute)
+                    and sub.value.attr == "extra_info"
+                    and isinstance(sub.slice, ast.Constant)
+                    and sub.slice.value in GATED_METRICS
+                ):
+                    found[node.name] = path.name
+                    break
+    return found
+
+
+def check_registered(baseline: dict, bench_dir: Path = BENCH_DIR) -> int:
+    """Fail if any gated benchmark on disk is missing from the baseline."""
+    gates = registered_gates(bench_dir)
+    expected = set(baseline.get("benchmarks", {}))
+    missing = sorted(set(gates) - expected)
+    for name in sorted(gates):
+        status = "registered" if name in expected else "UNREGISTERED"
+        print(f"{name} ({gates[name]}): {status}")
+    if missing:
+        print(
+            "\ngate registration check FAILED — benchmarks publishing "
+            "gated metrics without a baseline entry:",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(
+                f"  - {name} ({gates[name]}): add it with --update-baseline",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nall {len(gates)} gated benchmarks registered in baseline")
+    return 0
+
+
+def format_markdown(rows: list, reference_label: str) -> str:
+    """GitHub-flavored speedup-ratio table (for the CI job summary)."""
+    lines = [
+        "### Benchmark speedup ratios",
+        "",
+        f"| benchmark | metric | {reference_label} | current | ratio | status |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        lines.append(
+            "| {name} | {metric} | {base:.3f} | {value:.3f} | {ratio} | "
+            "{status} |".format(
+                name=row["name"],
+                metric=row["metric"],
+                base=row["base"],
+                value=row["value"],
+                ratio=(
+                    f"{row['value'] / row['base']:.2f}x"
+                    if row["base"] > 0
+                    else "n/a"
+                ),
+                status=(
+                    ":white_check_mark: ok"
+                    if row["status"] == "ok"
+                    else ":x: regressed"
+                ),
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def update_baseline(
+    gated: dict, baseline_path: Path, threshold: float, dry_run: bool = False
+) -> None:
+    old = {}
+    if baseline_path.exists():
+        old = json.loads(baseline_path.read_text()).get("benchmarks", {})
     payload = {
         "note": (
             "Machine-independent benchmark ratios gated by "
@@ -60,20 +165,47 @@ def update_baseline(gated: dict, baseline_path: Path, threshold: float) -> None:
         "threshold": threshold,
         "benchmarks": gated,
     }
-    baseline_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"baseline written: {baseline_path}")
-    for name, metrics in sorted(gated.items()):
-        for metric, value in sorted(metrics.items()):
-            print(f"  {name}: {metric} = {value}")
+    action = "baseline diff (dry run, nothing written)" if dry_run else (
+        f"baseline written: {baseline_path}"
+    )
+    print(action)
+    for name in sorted(set(gated) | set(old)):
+        for metric in GATED_METRICS:
+            new_value = gated.get(name, {}).get(metric)
+            old_value = old.get(name, {}).get(metric)
+            if new_value is None and old_value is None:
+                continue
+            if old_value is None:
+                print(f"  + {name}: {metric} = {new_value} (new gate)")
+            elif new_value is None:
+                print(f"  - {name}: {metric} = {old_value} (gate removed)")
+            elif new_value != old_value:
+                print(
+                    f"  ~ {name}: {metric} {old_value} -> {new_value} "
+                    f"({(new_value - old_value) / old_value:+.1%})"
+                )
+            else:
+                print(f"    {name}: {metric} = {new_value} (unchanged)")
+    if not dry_run:
+        baseline_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
-def check(gated: dict, baseline: dict, threshold: float) -> int:
+def check(
+    gated: dict,
+    baseline: dict,
+    threshold: float,
+    allow_unregistered: bool = False,
+) -> "tuple[int, list]":
+    """Gate ``gated`` against ``baseline``; returns (exit code, rows)."""
     expected = baseline.get("benchmarks", {})
     if not expected:
         print("error: baseline has no gated benchmarks", file=sys.stderr)
-        return 2
+        return 2, []
 
     failures = []
+    rows = []
     for name, metrics in sorted(expected.items()):
         current = gated.get(name)
         if current is None:
@@ -86,6 +218,15 @@ def check(gated: dict, baseline: dict, threshold: float) -> int:
                 continue
             floor = base_value * (1.0 - threshold)
             status = "ok" if value >= floor else "REGRESSED"
+            rows.append(
+                {
+                    "name": name,
+                    "metric": metric,
+                    "base": base_value,
+                    "value": value,
+                    "status": "ok" if status == "ok" else "regressed",
+                }
+            )
             print(
                 f"{name}: {metric} = {value:.3f} "
                 f"(baseline {base_value:.3f}, floor {floor:.3f}) {status}"
@@ -97,26 +238,37 @@ def check(gated: dict, baseline: dict, threshold: float) -> int:
                 )
 
     for name in sorted(set(gated) - set(expected)):
-        print(f"note: {name} not in baseline (add with --update-baseline)")
+        if allow_unregistered:
+            print(f"note: {name} not in baseline (add with --update-baseline)")
+        else:
+            failures.append(
+                f"{name}: publishes gated metrics but is not registered in "
+                "the baseline (add with --update-baseline)"
+            )
 
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
-        return 1
+        return 1, rows
     print("\nbenchmark regression gate passed")
-    return 0
+    return 0, rows
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "report", type=Path,
+        "report", type=Path, nargs="?", default=None,
         help="pytest-benchmark --benchmark-json output to check",
     )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE,
         help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--compare", type=Path, default=None, metavar="REPORT",
+        help="gate against another benchmark-json report instead of the "
+        "committed baseline (bench-compare: PR head vs merge-base)",
     )
     parser.add_argument(
         "--threshold", type=float, default=None,
@@ -127,7 +279,40 @@ def main(argv=None) -> int:
         "--update-baseline", action="store_true",
         help="rewrite the baseline from this report instead of checking",
     )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --update-baseline: print the would-be diff, write nothing",
+    )
+    parser.add_argument(
+        "--markdown-out", type=Path, default=None, metavar="FILE",
+        help="also write the comparison as a GitHub-flavored markdown "
+        "table (for $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--check-registered", action="store_true",
+        help="verify every benchmarks/test_*.py gate has a baseline entry "
+        "(static scan; usable without a report)",
+    )
+    parser.add_argument(
+        "--allow-unregistered", action="store_true",
+        help="downgrade unregistered gates in the report from failure to "
+        "note",
+    )
     args = parser.parse_args(argv)
+
+    if args.check_registered:
+        if not args.baseline.exists():
+            print(f"error: baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        code = check_registered(baseline)
+        if code != 0 or args.report is None:
+            return code
+
+    if args.report is None:
+        if not args.check_registered:
+            parser.error("a report is required unless --check-registered")
+        return 0
 
     report = json.loads(args.report.read_text())
     gated = extract_gated(report)
@@ -141,17 +326,36 @@ def main(argv=None) -> int:
 
     if args.update_baseline:
         threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
-        update_baseline(gated, args.baseline, threshold)
+        update_baseline(gated, args.baseline, threshold, dry_run=args.dry_run)
         return 0
 
-    if not args.baseline.exists():
-        print(f"error: baseline not found: {args.baseline}", file=sys.stderr)
-        return 2
-    baseline = json.loads(args.baseline.read_text())
-    threshold = args.threshold
-    if threshold is None:
-        threshold = float(baseline.get("threshold", DEFAULT_THRESHOLD))
-    return check(gated, baseline, threshold)
+    if args.compare is not None:
+        base_report = json.loads(args.compare.read_text())
+        reference = {"benchmarks": extract_gated(base_report)}
+        reference_label = "merge-base"
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        # Head-to-head: both sides are fresh reports, so a gate present
+        # on only one side is a branch divergence, not a registration bug.
+        code, rows = check(gated, reference, threshold, allow_unregistered=True)
+    else:
+        if not args.baseline.exists():
+            print(f"error: baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        reference_label = "baseline"
+        threshold = args.threshold
+        if threshold is None:
+            threshold = float(baseline.get("threshold", DEFAULT_THRESHOLD))
+        code, rows = check(
+            gated, baseline, threshold, allow_unregistered=args.allow_unregistered
+        )
+
+    if args.markdown_out is not None and rows:
+        args.markdown_out.write_text(format_markdown(rows, reference_label))
+        print(f"markdown table written: {args.markdown_out}")
+    return code
 
 
 if __name__ == "__main__":

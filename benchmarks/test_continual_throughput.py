@@ -1,0 +1,130 @@
+"""Continual-inference throughput — the O(window) → O(1) gate.
+
+Serves a 16-lane fleet at stride 1 (one new frame per lane per tick —
+the per-frame serving regime continual inference targets) through two
+engines over identical windows:
+
+* **windowed** — :class:`repro.core.BatchedInference`, which re-unrolls
+  the whole 128-frame recurrence every tick, and
+* **continual** — :class:`repro.core.ContinualInference`, which warms up
+  once and then advances each lane with a single
+  :func:`~repro.nn.fused.lstm_step_numpy` per tick.
+
+Both paths produce bitwise-identical scores (pinned by
+``tests/core/test_continual.py``), so the ratio is pure work avoided:
+ideally ~window×, in practice bounded by the shared head pass.  Like the
+other gates, what is pinned is the machine-independent *speedup ratio* —
+``benchmarks/check_regression.py`` reads ``extra_info["speedup"]`` out of
+the ``--benchmark-json`` report and fails the job if it falls more than
+20% below ``benchmarks/BENCH_baseline.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedInference, ContinualInference, EventHit, EventHitConfig
+from repro.harness import format_table
+
+STREAMS = 16
+WINDOW = 128
+CHANNELS = 4
+HORIZON = 8
+HIDDEN = 16
+TICKS = 24
+ROUNDS = 3
+
+CONFIG = EventHitConfig(
+    window_size=WINDOW,
+    horizon=HORIZON,
+    lstm_hidden=HIDDEN,
+    shared_hidden=(16,),
+    head_hidden=(32,),
+    dropout=0.0,
+    seed=0,
+)
+
+KEYS = [f"lane{i}" for i in range(STREAMS)]
+
+
+def _make_ticks(seed: int = 0):
+    """Stride-1 windows: tick t's window covers frames [t, t+WINDOW)."""
+    rng = np.random.default_rng(seed)
+    frames = rng.normal(size=(STREAMS, WINDOW + TICKS - 1, CHANNELS))
+    windows = [
+        np.ascontiguousarray(frames[:, t : t + WINDOW, :]) for t in range(TICKS)
+    ]
+    ends = [[WINDOW - 1 + t] * STREAMS for t in range(TICKS)]
+    return windows, ends
+
+
+def _serve_windowed(engine, windows):
+    for window in windows:
+        engine.predict(window)
+
+
+def _serve_continual(engine, windows, ends):
+    engine.reset()
+    for t, window in enumerate(windows):
+        engine.update(window, KEYS, ends[t])
+
+
+@pytest.mark.bench
+def test_continual_throughput(benchmark, save_result):
+    model = EventHit(CHANNELS, 1, config=CONFIG)
+    windowed = BatchedInference(model)
+    continual = ContinualInference(model)
+    windows, ends = _make_ticks()
+
+    # One untimed pass per engine: page in buffers, build weight caches.
+    _serve_windowed(windowed, windows[:2])
+    _serve_continual(continual, windows[:2], ends[:2])
+
+    benchmark.pedantic(
+        _serve_continual,
+        args=(continual, windows, ends),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+    continual_seconds = benchmark.stats.stats.min
+
+    windowed_seconds = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        _serve_windowed(windowed, windows)
+        windowed_seconds = min(windowed_seconds, time.perf_counter() - start)
+
+    lane_ticks = STREAMS * TICKS
+    continual_tps = lane_ticks / continual_seconds
+    windowed_tps = lane_ticks / windowed_seconds
+    speedup = continual_tps / windowed_tps
+
+    benchmark.extra_info["streams"] = STREAMS
+    benchmark.extra_info["window"] = WINDOW
+    benchmark.extra_info["ticks"] = TICKS
+    benchmark.extra_info["windowed_tps"] = round(windowed_tps, 1)
+    benchmark.extra_info["continual_tps"] = round(continual_tps, 1)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+    save_result(
+        "continual_throughput",
+        format_table(
+            [
+                {
+                    "streams": STREAMS,
+                    "window": WINDOW,
+                    "lane_ticks": lane_ticks,
+                    "windowed_tps": round(windowed_tps, 1),
+                    "continual_tps": round(continual_tps, 1),
+                    "speedup": round(speedup, 2),
+                }
+            ]
+        ),
+    )
+
+    # Acceptance floor: carrying state across stride-1 ticks must at
+    # least triple lane-ticks/s over re-unrolling 128 frames per tick.
+    # (Measured far higher; the CI gate guards the committed baseline
+    # much more tightly than this hard floor.)
+    assert speedup >= 3.0, f"continual speedup {speedup:.2f}x below 3x floor"

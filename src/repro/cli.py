@@ -39,6 +39,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from . import obs
+from .core import ENGINES
 from .cloud import (
     BreakerConfig,
     FaultInjector,
@@ -53,6 +54,7 @@ from .harness import (
     ExperimentSettings,
     build_fleet_lanes,
     chaos_experiment,
+    continual_gate_sweep,
     ingest_chaos_experiment,
     lifecycle_chaos_experiment,
     fleet_marshaller,
@@ -82,6 +84,26 @@ def _add_experiment_args(parser: argparse.ArgumentParser, default_task: str) -> 
                         help="max records per split")
     parser.add_argument("--seed", type=int, default=0)
     _add_obs_args(parser)
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default="windowed",
+        choices=list(ENGINES),
+        help="inference engine: 'windowed' re-runs the full window every "
+        "tick, 'continual' carries LSTM/GRU state across ticks (O(1) per "
+        "new frame), 'gated' additionally skips recompute when features "
+        "are static",
+    )
+    parser.add_argument(
+        "--gate-delta",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help="change-gate threshold (inf-norm on standardized features) "
+        "for --engine gated; default 0.05",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -347,6 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="horizons marshalled per stream")
     fleet.add_argument("--confidence", type=float, default=0.9)
     fleet.add_argument("--alpha", type=float, default=0.9)
+    _add_engine_args(fleet)
+    fleet.add_argument(
+        "--gate-deltas",
+        default=None,
+        metavar="D1,D2,...",
+        help="gate-threshold sweep mode: serve the fleet at stride 1 "
+        "through the gated engine at each threshold; prints speedup over "
+        "windowed, gate hit rate, and max score drift per threshold",
+    )
 
     watch = sub.add_parser(
         "watch",
@@ -367,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="horizons marshalled per stream")
     watch.add_argument("--confidence", type=float, default=0.9)
     watch.add_argument("--alpha", type=float, default=0.9)
+    _add_engine_args(watch)
     watch.add_argument(
         "--fault-rate",
         type=float,
@@ -579,6 +611,15 @@ def _run_lifecycle(args: argparse.Namespace, out) -> None:
 def _run_fleet(args: argparse.Namespace, out) -> None:
     """One fleet run (per-stream table) or a fleet-size throughput sweep."""
     experiment = run_experiment(args.task, settings=_settings(args))
+    if args.gate_deltas is not None:
+        rows = continual_gate_sweep(
+            experiment,
+            deltas=_parse_float_list(args.gate_deltas),
+            num_streams=args.streams,
+            seed=args.seed,
+        )
+        print(format_table(rows), file=out)
+        return
     if args.fleet_sizes is not None:
         sizes = [int(value) for value in _parse_float_list(args.fleet_sizes)]
         rows = fleet_throughput_sweep(
@@ -599,6 +640,8 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
         alpha=args.alpha,
         scheduler=args.scheduler,
         tick_budget_frames=args.budget_frames,
+        engine=args.engine,
+        gate_delta=args.gate_delta,
     )
     lanes = build_fleet_lanes(experiment, args.streams, seed=args.seed)
     service = FleetCIService([lane.stream for lane in lanes])
@@ -655,6 +698,8 @@ def _run_watch(args: argparse.Namespace, out) -> None:
         alpha=args.alpha,
         scheduler=args.scheduler,
         tick_budget_frames=args.budget_frames,
+        engine=args.engine,
+        gate_delta=args.gate_delta,
     )
     lanes = build_fleet_lanes(experiment, args.streams, seed=args.seed)
     service = FleetCIService([lane.stream for lane in lanes])

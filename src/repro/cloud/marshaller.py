@@ -12,7 +12,7 @@ collected in the :class:`MarshallingReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -383,14 +383,51 @@ class StreamMarshaller:
         return truth_frames
 
     # ------------------------------------------------------------------
+    # Engine dispatch (shared with the fleet marshaller)
+    # ------------------------------------------------------------------
+    def _engine_forward(
+        self,
+        windows: np.ndarray,
+        keys: Sequence[str],
+        end_frames: Sequence[int],
+    ) -> "EventHitOutput":
+        """Score stacked windows through whichever engine is bound.
+
+        Stateful engines (anything exposing ``update``) get lane keys and
+        absolute end frames so they can carry recurrence state across
+        ticks; the stateless windowed engine just sees the windows.  Duck
+        typing keeps the marshalling loop engine-agnostic — the same loop
+        serves ``windowed``, ``continual``, and ``gated``.
+        """
+        update = getattr(self.inference, "update", None)
+        if update is not None:
+            return update(windows, keys, end_frames)
+        return self.inference.predict(windows)
+
+    def _engine_reset(self, keys: Optional[Sequence[str]] = None) -> None:
+        """Drop carried engine state for ``keys`` (no-op when stateless).
+
+        Called at run start, on quarantine entry, and on guard-voided
+        horizons: any carried state may have consumed frames the guard no
+        longer vouches for, so the engine must warm up from the next full
+        (clean) window.
+        """
+        reset = getattr(self.inference, "reset", None)
+        if reset is not None:
+            reset(keys)
+
+    # ------------------------------------------------------------------
     # Ingest-guard bookkeeping (shared with the fleet marshaller)
     # ------------------------------------------------------------------
     def _guard_bookkeeping(
         self, guarded: GuardedStream, frame: int, report: "MarshallingReport"
-    ) -> int:
-        """Per-horizon guard accounting; returns the health code at
+    ) -> Tuple[int, bool]:
+        """Per-horizon guard accounting; returns ``(health, voided)`` at
         ``frame`` (the decision point — the end of the collection
-        window), which is what the caller routes on."""
+        window).  ``health`` is what the caller routes on; ``voided``
+        flags horizons whose conformal guarantee no longer holds, which
+        stateful engines use as a state-drop trigger (their carried
+        recurrence may have consumed imputed or invalid frames)."""
         horizon = self.horizon
         health = guarded.state_at(frame)
         lo, hi = frame + 1, frame + horizon + 1
@@ -403,7 +440,8 @@ class StreamMarshaller:
             guarded.invalid_count(frame - self.pipeline.window_size + 1, frame + 1)
             > 0
         )
-        if health != HEALTHY or window_dirty or invalid > 0:
+        voided = health != HEALTHY or window_dirty or invalid > 0
+        if voided:
             # C-CLASSIFY / C-REGRESS coverage is calibrated on clean,
             # exchangeable windows; none of that holds here.
             report.guarantee_voided_frames += horizon
@@ -412,7 +450,7 @@ class StreamMarshaller:
             report.quarantined_frames += horizon
             inc("stream.health.quarantined_horizons")
         set_gauge("stream.health.state", health)
-        return health
+        return health, voided
 
     def _quarantine_horizon(
         self,
@@ -613,6 +651,7 @@ class StreamMarshaller:
         cost_before = service.ledger.total_cost
         retries_before = getattr(getattr(service, "stats", None), "retries", 0)
         pending: List[_DeferredSegment] = []
+        self._engine_reset()  # a fresh run never inherits carried state
         with span("marshal.run", start_frame=frame, horizon=horizon):
             while frame + horizon < stream.length:
                 if (
@@ -634,7 +673,14 @@ class StreamMarshaller:
                             sum(d.segment.num_frames for d in pending),
                         )
                     if guarded is not None:
-                        health = self._guard_bookkeeping(guarded, frame, report)
+                        health, voided = self._guard_bookkeeping(
+                            guarded, frame, report
+                        )
+                        if voided:
+                            # Carried recurrence state may include imputed
+                            # or invalid frames — drop it; the engine
+                            # warms up from the next full window.
+                            self._engine_reset([stream.name])
                         if health == QUARANTINED:
                             # Model input is untrustworthy: skip the
                             # forward pass, fall back conservatively.
@@ -659,7 +705,9 @@ class StreamMarshaller:
                             report, tick=report.horizons_evaluated
                         )
                     window = self.pipeline.covariates_at(features, frame)
-                    output = self.inference.predict(window[None])
+                    output = self._engine_forward(
+                        window[None], [stream.name], [frame]
+                    )
                     exists, segments = self._decide(output)
                     if lifecycle is not None:
                         lifecycle.observe(

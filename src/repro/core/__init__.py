@@ -8,6 +8,7 @@
 
 from .batched import BatchedInference, rowstable_matmul
 from .config import EventHitConfig
+from .continual import ENGINES, ContinualInference, make_engine
 from .model import EventHit, EventHitOutput
 from .inference import (
     PredictionBatch,
@@ -23,6 +24,9 @@ from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 __all__ = [
     "BatchedInference",
     "rowstable_matmul",
+    "ContinualInference",
+    "ENGINES",
+    "make_engine",
     "EventHitConfig",
     "EventHit",
     "EventHitOutput",

@@ -99,6 +99,17 @@ class BatchedInference:
             raise TypeError("BatchedInference serves EventHit models")
         self.model = model
 
+    def rebind(self, model: EventHit) -> "BatchedInference":
+        """A fresh engine of this engine's kind bound to ``model``.
+
+        The hot-swap hook: the lifecycle controller rebinds whatever
+        engine class the deployment selected (windowed, continual, gated)
+        without knowing which — stateful engines override this to carry
+        their configuration across the swap while dropping all carried
+        state (the post-swap warm-up is the state rebase).
+        """
+        return type(self)(model)
+
     # ------------------------------------------------------------------
     # Layer evaluators (eval-mode, raw numpy)
     # ------------------------------------------------------------------
@@ -193,10 +204,21 @@ class BatchedInference:
             pooled = x.sum(axis=1) * (1.0 / x.shape[1])
             encoded = self._eval_layer(model.encoder, pooled)
 
-        z = self._eval_sequential(model.shared, encoded)
+        theta = self._head_theta(encoded, last_vector)
+        return EventHitOutput(theta[:, :, 0], theta[:, :, 1:])
+
+    def _head_theta(self, encoded: np.ndarray, last_vector: np.ndarray) -> np.ndarray:
+        """Shared sub-network + heads over encoded states: ``(B, K, H+1)``.
+
+        Every op here is row-independent (row-stable matmuls, elementwise
+        activations), so this stage is batch-size invariant on its own —
+        the continual engine reuses it over per-step hidden states, and
+        the windowed path reuses it over whole-window encodings, with
+        bitwise-equal rows whenever the encodings are bitwise equal.
+        """
+        z = self._eval_sequential(self.model.shared, encoded)
         head_input = np.concatenate([z, last_vector], axis=1)
         outputs: List[np.ndarray] = [
-            self._eval_layer(head, head_input) for head in model.heads()
+            self._eval_layer(head, head_input) for head in self.model.heads()
         ]
-        theta = np.stack(outputs, axis=1)  # (B, K, H+1)
-        return EventHitOutput(theta[:, :, 0], theta[:, :, 1:])
+        return np.stack(outputs, axis=1)  # (B, K, H+1)

@@ -297,7 +297,11 @@ class FleetMarshaller:
                 for state in active
             ]
         )
-        output = m.inference.predict(windows)
+        output = m._engine_forward(
+            windows,
+            [state.name for state in active],
+            [state.frame for state in active],
+        )
         observe("fleet.batch_size", len(active))
         # One batch-native decision pass for every lane: row i of the
         # batched output (and its segments) is bitwise the lane's solo
@@ -641,6 +645,7 @@ class FleetMarshaller:
         activate = fleet_service.activate
         states = self._make_states(list(lanes), fleet_service, start_frame, guard)
         by_name = {state.name: state for state in states}
+        m._engine_reset()  # a fresh fleet run never inherits carried state
         fps = states[0].stream.fps
 
         report = FleetReport(scheduler=self.scheduler.name)
@@ -684,9 +689,14 @@ class FleetMarshaller:
                         # batched forward and fall back conservatively.
                         predicting = []
                         for state in active:
-                            health = m._guard_bookkeeping(
+                            health, voided = m._guard_bookkeeping(
                                 state.guarded, state.frame, state.report
                             )
+                            if voided:
+                                # Stateful engines drop this lane's
+                                # carried state: it may span imputed or
+                                # invalid frames.
+                                m._engine_reset([state.name])
                             if health == QUARANTINED:
                                 if (
                                     telemetry

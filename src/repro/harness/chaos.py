@@ -25,6 +25,7 @@ from ..cloud import (
 )
 from ..conformal.classify import ConformalClassifier
 from ..conformal.regress import ConformalRegressor
+from ..core.continual import make_engine
 from ..features import CovariatePipeline
 from ..ingest import IngestFaultInjector, IngestFaultPlan, StreamGuard
 from ..lifecycle import (
@@ -79,8 +80,17 @@ def chaos_marshaller(
     experiment: Experiment,
     confidence: float = 0.9,
     alpha: float = 0.9,
+    engine: str = "windowed",
+    gate_delta: Optional[float] = None,
 ) -> StreamMarshaller:
-    """The deployment-shaped marshaller (EHCR configuration) for one task."""
+    """The deployment-shaped marshaller (EHCR configuration) for one task.
+
+    ``engine`` selects the inference engine by registry name
+    (:data:`~repro.core.continual.ENGINES`): ``"windowed"`` is the
+    stateless batched default, ``"continual"`` carries recurrent state
+    across ticks, ``"gated"`` additionally change-gates recompute at
+    ``gate_delta``.
+    """
     pipeline = CovariatePipeline(
         experiment.data.spec.window_size,
         standardizer=experiment.data.standardizer,
@@ -93,6 +103,7 @@ def chaos_marshaller(
         regressor=experiment.regressor,
         confidence=confidence,
         alpha=alpha,
+        inference=make_engine(engine, experiment.model, gate_delta=gate_delta),
     )
 
 

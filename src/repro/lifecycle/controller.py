@@ -38,7 +38,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cloud.marshaller import MarshallingReport
-from ..core.batched import BatchedInference
 from ..core.model import EventHit
 from ..core.trainer import train_eventhit
 from ..data.records import RecordSet
@@ -440,7 +439,10 @@ class LifecycleController:
         with span("lifecycle.swap", version=entry.version, tick=tick):
             records = self.buffer.to_records()
             m.model = model
-            m.inference = BatchedInference(model)
+            # rebind preserves the engine kind and its config (windowed,
+            # continual, gated); stateful engines drop all carried lane
+            # state here — the post-swap warm-up is the state rebase.
+            m.inference = m.inference.rebind(model)
             m.classifier.model = model
             m.classifier.calibrate(records)
             m.regressor.model = model

@@ -23,8 +23,10 @@ from .fused import (
     fused_enabled,
     fused_weighted_bce_sum,
     gru_forward_numpy,
+    gru_step_numpy,
     lstm_forward_numpy,
     lstm_fused,
+    lstm_step_numpy,
     use_fused,
 )
 from .layers import (
@@ -57,7 +59,9 @@ __all__ = [
     "use_fused",
     "lstm_fused",
     "lstm_forward_numpy",
+    "lstm_step_numpy",
     "gru_forward_numpy",
+    "gru_step_numpy",
     "fused_weighted_bce_sum",
     "fused_binary_cross_entropy",
     "Module",

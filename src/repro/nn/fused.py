@@ -47,7 +47,9 @@ __all__ = [
     "use_fused",
     "lstm_fused",
     "lstm_forward_numpy",
+    "lstm_step_numpy",
     "gru_forward_numpy",
+    "gru_step_numpy",
     "fused_weighted_bce_sum",
     "fused_binary_cross_entropy",
 ]
@@ -208,6 +210,7 @@ def lstm_forward_numpy(
     h0: Optional[np.ndarray] = None,
     c0: Optional[np.ndarray] = None,
     matmul=None,
+    return_state: bool = False,
 ) -> np.ndarray:
     """Run the whole LSTM sequence in raw numpy; returns ``h_T`` (B, H).
 
@@ -217,6 +220,11 @@ def lstm_forward_numpy(
     work.  ``matmul`` lets :class:`~repro.core.batched.BatchedInference`
     inject its row-stable contraction (it must accept the 3-D input
     projection as well); the default uses BLAS.
+
+    ``return_state`` returns the full ``(h_T, c_T)`` state instead of just
+    ``h_T`` — the warm-up path of the continual engine, which must resume
+    the recurrence from exactly where a windowed forward would have left
+    it (:func:`lstm_step_numpy` continues bitwise from this state).
     """
     batch, steps, features, hidden = _check_lstm_shapes(x, weight_x, weight_h, bias)
     # Permute gate columns [i, f, g, o] → [o, i, f, g] once per call so the
@@ -268,7 +276,43 @@ def lstm_forward_numpy(
         np.multiply(gates[:, :hidden], tanh_c, out=h)  # o ⊙ tanh(c)
     if pooled is not None:
         _workspaces.give(pooled, xw)
+    if return_state:
+        return h, c
     return h
+
+
+def lstm_step_numpy(
+    frame: np.ndarray,
+    h: np.ndarray,
+    c: np.ndarray,
+    wx_p: np.ndarray,
+    wh_p: np.ndarray,
+    b_p: np.ndarray,
+    matmul=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One stateful LSTM step on *prepared* weights; updates ``h, c`` in place.
+
+    ``wx_p`` / ``wh_p`` / ``b_p`` are the permuted (``[o, i, f, g]``) and
+    candidate-pre-doubled copies that :func:`lstm_forward_numpy` builds
+    once per call — callers that step every tick (the continual engine)
+    cache them once per model bind instead.  The op sequence mirrors the
+    sequence forward's inner loop exactly, so stepping frames one at a
+    time is **bitwise identical** to running the whole window through
+    :func:`lstm_forward_numpy` from the same initial state (with the same
+    ``matmul``); ``tests/core/test_continual.py`` pins this.
+    """
+    mm = np.matmul if matmul is None else matmul
+    xw = mm(frame, wx_p)
+    xw += b_p
+    gates = mm(h, wh_p)
+    gates += xw
+    hidden = h.shape[1]
+    _activate_gates_inplace(gates, hidden)
+    c *= gates[:, 2 * hidden : 3 * hidden]  # f ⊙ c_prev
+    c += gates[:, hidden : 2 * hidden] * gates[:, 3 * hidden :]  # i ⊙ g
+    tanh_c = np.tanh(c)
+    np.multiply(gates[:, :hidden], tanh_c, out=h)  # o ⊙ tanh(c)
+    return h, c
 
 
 def gru_forward_numpy(
@@ -318,6 +362,40 @@ def gru_forward_numpy(
         np.tanh(candidate, out=candidate)
         h = (1.0 - z) * candidate + z * h
     return h
+
+
+def gru_step_numpy(
+    frame: np.ndarray,
+    h: np.ndarray,
+    weight_x_gates: np.ndarray,
+    weight_h_gates: np.ndarray,
+    bias_gates: np.ndarray,
+    weight_x_cand: np.ndarray,
+    weight_h_cand: np.ndarray,
+    bias_cand: np.ndarray,
+    matmul=None,
+) -> np.ndarray:
+    """One stateful GRU step; returns the new hidden state ``(B, H)``.
+
+    Same op sequence as :func:`gru_forward_numpy`'s inner loop, so
+    stepping frame by frame from a saved state is bitwise identical to the
+    whole-window forward (the GRU's full recurrent state is ``h`` alone).
+    """
+    mm = np.matmul if matmul is None else matmul
+    xg = mm(frame, weight_x_gates)
+    xg += bias_gates
+    xc = mm(frame, weight_x_cand)
+    xc += bias_cand
+    gates = mm(h, weight_h_gates)
+    gates += xg
+    _sigmoid_inplace(gates)
+    hidden = h.shape[1]
+    r = gates[:, :hidden]
+    z = gates[:, hidden:]
+    candidate = mm(r * h, weight_h_cand)
+    candidate += xc
+    np.tanh(candidate, out=candidate)
+    return (1.0 - z) * candidate + z * h
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,111 @@
+"""Guard tests for the ``rowstable_matmul`` stability contract.
+
+Every bitwise-equivalence claim in the repo (fleet == sequential,
+continual == windowed, chunked == stacked) bottoms out in one primitive:
+:func:`repro.core.rowstable_matmul`'s per-row accumulation order must not
+depend on how many rows — or how many leading batch dims — ride along.
+This file is the tripwire for a numpy upgrade (or a well-meaning "switch
+to ``@``" refactor) silently changing that: it drives random shapes
+through the primitive and pins the contract bitwise.
+
+A note on the reference loop: einsum's *internal* reduction order is a
+SIMD-blocked variant of the fixed-order loop, not the textbook sequential
+sum (measurably so — a two-accumulator pairwise sum matches it for some
+contraction lengths and not others).  The naive loop therefore anchors
+*values* at near-ulp tolerance, while the bitwise pins anchor the part
+the repo actually relies on: whatever order einsum picks is a function of
+the weight shape alone, never of the batch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import rowstable_matmul
+
+
+def fixed_order_loop(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Textbook contraction: one scalar accumulator, index order 0..K-1."""
+    out = np.zeros(x.shape[:-1] + (w.shape[1],))
+    flat_x = x.reshape(-1, x.shape[-1])
+    flat_out = out.reshape(-1, w.shape[1])
+    for r in range(flat_x.shape[0]):
+        for o in range(w.shape[1]):
+            acc = np.float64(0.0)
+            for i in range(x.shape[-1]):
+                acc = acc + flat_x[r, i] * w[i, o]
+            flat_out[r, o] = acc
+    return out
+
+
+class TestRowstableGuard:
+    @given(
+        rows=st.integers(1, 9),
+        contract=st.integers(1, 24),
+        cols=st.integers(1, 7),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_values_match_fixed_order_loop(self, rows, contract, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(rows, contract))
+        w = rng.normal(size=(contract, cols))
+        np.testing.assert_allclose(
+            rowstable_matmul(x, w), fixed_order_loop(x, w), rtol=1e-12, atol=0
+        )
+
+    @given(
+        rows=st.integers(2, 32),
+        contract=st.integers(1, 64),
+        cols=st.integers(1, 48),
+        take=st.integers(1, 8),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rows_bitwise_invariant_under_batching(
+        self, rows, contract, cols, take, seed
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(rows, contract))
+        w = rng.normal(size=(contract, cols))
+        take = min(take, rows)
+        full = rowstable_matmul(x, w)
+        part = rowstable_matmul(x[:take], w)
+        assert np.array_equal(full[:take], part)
+        # ...and each row alone: the strongest form of the contract.
+        solo = rowstable_matmul(x[take - 1 : take], w)
+        assert np.array_equal(full[take - 1], solo[0])
+
+    @given(
+        batch=st.integers(1, 5),
+        time=st.integers(1, 10),
+        contract=st.integers(1, 32),
+        cols=st.integers(1, 32),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_3d_slices_bitwise_equal_2d_calls(
+        self, batch, time, contract, cols, seed
+    ):
+        # The continual engine's warmup hoists a (B, T, D) projection in
+        # one 3-D contraction and the step kernel projects (B, D) frames
+        # one at a time; they agree bitwise only because the leading
+        # batch shape never changes the per-element reduction.
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, time, contract))
+        w = rng.normal(size=(contract, cols))
+        hoisted = rowstable_matmul(x, w)
+        for t in range(time):
+            assert np.array_equal(hoisted[:, t, :], rowstable_matmul(x[:, t, :], w))
+        for b in range(batch):
+            assert np.array_equal(hoisted[b], rowstable_matmul(x[b], w))
+
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 17), (64, 128)])
+    def test_deterministic_across_calls(self, shape):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=shape)
+        w = rng.normal(size=(shape[1], 23))
+        first = rowstable_matmul(x, w)
+        for _ in range(3):
+            assert np.array_equal(first, rowstable_matmul(x, w))

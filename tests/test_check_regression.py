@@ -1,0 +1,245 @@
+"""Unit tests for the benchmark regression gate (benchmarks/check_regression.py)."""
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import (
+    check,
+    check_registered,
+    extract_gated,
+    format_markdown,
+    main,
+    registered_gates,
+    update_baseline,
+)
+
+
+def report(**benches):
+    return {
+        "benchmarks": [
+            {"name": name, "extra_info": extra} for name, extra in benches.items()
+        ]
+    }
+
+
+def baseline(threshold=0.2, **speedups):
+    return {
+        "threshold": threshold,
+        "benchmarks": {
+            name: {"speedup": value} for name, value in speedups.items()
+        },
+    }
+
+
+class TestExtractGated:
+    def test_pulls_only_gated_metrics(self):
+        gated = extract_gated(
+            report(
+                test_a={"speedup": 3.5, "frames": 1200},
+                test_b={"frames": 99},
+                test_c=None,
+            )
+        )
+        assert gated == {"test_a": {"speedup": 3.5}}
+
+    def test_empty_report(self):
+        assert extract_gated({}) == {}
+
+
+class TestCheck:
+    def test_passes_within_threshold(self, capsys):
+        code, rows = check(
+            {"test_a": {"speedup": 3.0}}, baseline(test_a=3.5), 0.2
+        )
+        assert code == 0
+        assert rows == [
+            {
+                "name": "test_a",
+                "metric": "speedup",
+                "base": 3.5,
+                "value": 3.0,
+                "status": "ok",
+            }
+        ]
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_fails_beyond_threshold(self, capsys):
+        code, rows = check(
+            {"test_a": {"speedup": 2.0}}, baseline(test_a=3.5), 0.2
+        )
+        assert code == 1
+        assert rows[0]["status"] == "regressed"
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_gate_fails(self):
+        code, _ = check({}, baseline(test_a=3.5), 0.2)
+        assert code == 1
+
+    def test_unregistered_gate_fails_by_default(self, capsys):
+        code, _ = check(
+            {"test_a": {"speedup": 3.5}, "test_new": {"speedup": 9.0}},
+            baseline(test_a=3.5),
+            0.2,
+        )
+        assert code == 1
+        assert "not registered" in capsys.readouterr().err
+
+    def test_unregistered_gate_allowed_when_opted_out(self, capsys):
+        code, _ = check(
+            {"test_a": {"speedup": 3.5}, "test_new": {"speedup": 9.0}},
+            baseline(test_a=3.5),
+            0.2,
+            allow_unregistered=True,
+        )
+        assert code == 0
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_empty_baseline_is_an_error(self):
+        code, _ = check({"test_a": {"speedup": 1.0}}, {}, 0.2)
+        assert code == 2
+
+
+class TestUpdateBaseline:
+    def test_writes_payload(self, tmp_path):
+        path = tmp_path / "BENCH_baseline.json"
+        update_baseline({"test_a": {"speedup": 4.0}}, path, 0.2)
+        payload = json.loads(path.read_text())
+        assert payload["benchmarks"] == {"test_a": {"speedup": 4.0}}
+        assert payload["threshold"] == 0.2
+
+    def test_dry_run_writes_nothing_and_prints_diff(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_baseline.json"
+        path.write_text(
+            json.dumps(baseline(test_a=3.0, test_gone=1.0))
+        )
+        before = path.read_text()
+        update_baseline(
+            {"test_a": {"speedup": 4.0}, "test_new": {"speedup": 2.0}},
+            path,
+            0.2,
+            dry_run=True,
+        )
+        assert path.read_text() == before
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "test_a: speedup 3.0 -> 4.0" in out
+        assert "+ test_new" in out
+        assert "- test_gone" in out
+
+
+class TestRegisteredGates:
+    def test_scans_extra_info_assignments(self, tmp_path):
+        (tmp_path / "test_fast.py").write_text(
+            "def test_gated(benchmark):\n"
+            "    benchmark.extra_info['speedup'] = 2.0\n"
+            "\n"
+            "def test_ungated(benchmark):\n"
+            "    benchmark.extra_info['frames'] = 10\n"
+            "\n"
+            "def helper():\n"
+            "    pass\n"
+        )
+        (tmp_path / "test_other.py").write_text(
+            "def test_also_gated(benchmark):\n"
+            '    benchmark.extra_info["speedup"] = round(1.5, 3)\n'
+        )
+        assert registered_gates(tmp_path) == {
+            "test_gated": "test_fast.py",
+            "test_also_gated": "test_other.py",
+        }
+
+    def test_real_suite_fully_registered(self):
+        # The live satellite pin: every gate in benchmarks/test_*.py must
+        # have an entry in the committed BENCH_baseline.json.
+        from benchmarks.check_regression import BENCH_DIR, DEFAULT_BASELINE
+
+        committed = json.loads(DEFAULT_BASELINE.read_text())
+        assert check_registered(committed, BENCH_DIR) == 0
+
+    def test_check_registered_fails_on_missing(self, capsys):
+        committed = baseline(test_only_this=1.0)
+        assert check_registered(committed) == 1
+        assert "UNREGISTERED" in capsys.readouterr().out
+
+
+class TestCompareAndMarkdown:
+    def test_compare_mode_head_to_head(self, tmp_path, capsys):
+        head = tmp_path / "head.json"
+        base = tmp_path / "base.json"
+        md = tmp_path / "summary.md"
+        head.write_text(json.dumps(report(test_a={"speedup": 3.4})))
+        base.write_text(json.dumps(report(test_a={"speedup": 3.5})))
+        code = main(
+            [str(head), "--compare", str(base), "--markdown-out", str(md)]
+        )
+        assert code == 0
+        table = md.read_text()
+        assert "| merge-base |" in table
+        assert "| test_a | speedup | 3.500 | 3.400 |" in table
+        assert ":white_check_mark:" in table
+
+    def test_compare_mode_regression_fails(self, tmp_path):
+        head = tmp_path / "head.json"
+        base = tmp_path / "base.json"
+        md = tmp_path / "summary.md"
+        head.write_text(json.dumps(report(test_a={"speedup": 1.0})))
+        base.write_text(json.dumps(report(test_a={"speedup": 3.5})))
+        code = main(
+            [str(head), "--compare", str(base), "--markdown-out", str(md)]
+        )
+        assert code == 1
+        assert ":x: regressed" in md.read_text()
+
+    def test_compare_tolerates_new_benchmark_on_head(self, tmp_path):
+        head = tmp_path / "head.json"
+        base = tmp_path / "base.json"
+        head.write_text(
+            json.dumps(report(test_a={"speedup": 3.5}, test_new={"speedup": 5.0}))
+        )
+        base.write_text(json.dumps(report(test_a={"speedup": 3.5})))
+        assert main([str(head), "--compare", str(base)]) == 0
+
+    def test_markdown_formatting(self):
+        table = format_markdown(
+            [
+                {
+                    "name": "test_a",
+                    "metric": "speedup",
+                    "base": 2.0,
+                    "value": 4.0,
+                    "status": "ok",
+                }
+            ],
+            "baseline",
+        )
+        assert "| test_a | speedup | 2.000 | 4.000 | 2.00x |" in table
+
+
+class TestMainModes:
+    def test_requires_report_without_check_registered(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_check_registered_standalone(self):
+        assert main(["--check-registered"]) == 0
+
+    def test_report_without_gated_metrics_errors(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps(report(test_a={"frames": 3})))
+        assert main([str(empty)]) == 2
+
+    def test_update_baseline_dry_run_via_cli(self, tmp_path):
+        rep = tmp_path / "rep.json"
+        base = tmp_path / "BENCH_baseline.json"
+        rep.write_text(json.dumps(report(test_a={"speedup": 2.0})))
+        assert main(
+            [str(rep), "--baseline", str(base), "--update-baseline", "--dry-run"]
+        ) == 0
+        assert not base.exists()
+        assert main(
+            [str(rep), "--baseline", str(base), "--update-baseline"]
+        ) == 0
+        assert json.loads(base.read_text())["benchmarks"] == {
+            "test_a": {"speedup": 2.0}
+        }
