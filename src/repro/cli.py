@@ -47,7 +47,7 @@ from .cloud import (
     ResilientCIClient,
     RetryPolicy,
 )
-from .fleet import SCHEDULERS, FleetCIService
+from .fleet import PARTITIONS, SCHEDULERS, FleetCIService
 from .ingest import IngestFaultPlan
 from .lifecycle import LifecycleFaultPlan
 from .harness import (
@@ -59,6 +59,8 @@ from .harness import (
     lifecycle_chaos_experiment,
     fleet_marshaller,
     fleet_throughput_sweep,
+    sharded_fleet_marshaller,
+    sharded_throughput_sweep,
     fig10_stage_breakdown,
     fig4_rec_spl,
     fig5_cclassify,
@@ -103,6 +105,38 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         metavar="DELTA",
         help="change-gate threshold (inf-norm on standardized features) "
         "for --engine gated; default 0.05",
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="partition the lanes across N worker processes (each with "
+        "its own engine, CI account, and observability, merged exactly "
+        "by the coordinator); 1 = single-process fleet",
+    )
+    parser.add_argument(
+        "--partition",
+        default="contiguous",
+        choices=sorted(PARTITIONS),
+        help="lane-to-shard assignment strategy for --shards > 1",
+    )
+    parser.add_argument(
+        "--start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for shard workers "
+        "(default: platform default)",
     )
 
 
@@ -345,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(fleet, "TA10")
     fleet.add_argument("--streams", type=int, default=4,
                        help="fleet size for a single run")
+    _add_shard_args(fleet)
     fleet.add_argument(
         "--scheduler",
         default="round-robin",
@@ -387,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_experiment_args(watch, "TA10")
     watch.add_argument("--streams", type=int, default=4)
+    _add_shard_args(watch)
     watch.add_argument(
         "--scheduler",
         default="round-robin",
@@ -620,6 +656,17 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
         )
         print(format_table(rows), file=out)
         return
+    if args.fleet_sizes is not None and args.shards > 1:
+        sizes = [int(value) for value in _parse_float_list(args.fleet_sizes)]
+        rows = sharded_throughput_sweep(
+            experiment,
+            stream_counts=sizes,
+            num_shards=args.shards,
+            max_horizons=args.max_horizons,
+            seed=args.seed,
+        )
+        print(format_table(rows), file=out)
+        return
     if args.fleet_sizes is not None:
         sizes = [int(value) for value in _parse_float_list(args.fleet_sizes)]
         rows = fleet_throughput_sweep(
@@ -634,18 +681,33 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
         )
         print(format_table(rows), file=out)
         return
-    fleet = fleet_marshaller(
-        experiment,
-        confidence=args.confidence,
-        alpha=args.alpha,
-        scheduler=args.scheduler,
-        tick_budget_frames=args.budget_frames,
-        engine=args.engine,
-        gate_delta=args.gate_delta,
-    )
     lanes = build_fleet_lanes(experiment, args.streams, seed=args.seed)
-    service = FleetCIService([lane.stream for lane in lanes])
-    report = fleet.run(lanes, service, max_horizons=args.max_horizons)
+    if args.shards > 1:
+        sharded = sharded_fleet_marshaller(
+            experiment,
+            args.shards,
+            confidence=args.confidence,
+            alpha=args.alpha,
+            scheduler=args.scheduler,
+            tick_budget_frames=args.budget_frames,
+            engine=args.engine,
+            gate_delta=args.gate_delta,
+            partition=args.partition,
+            start_method=args.start_method,
+        )
+        report = sharded.run(lanes, max_horizons=args.max_horizons)
+    else:
+        fleet = fleet_marshaller(
+            experiment,
+            confidence=args.confidence,
+            alpha=args.alpha,
+            scheduler=args.scheduler,
+            tick_budget_frames=args.budget_frames,
+            engine=args.engine,
+            gate_delta=args.gate_delta,
+        )
+        service = FleetCIService([lane.stream for lane in lanes])
+        report = fleet.run(lanes, service, max_horizons=args.max_horizons)
     rows = []
     for name, stream_report in report.per_stream.items():
         row = {"stream": name}
@@ -674,6 +736,17 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
         "attributed_cost",
     ):
         print(f"{key}: {summary[key]}", file=out)
+    if args.shards > 1:
+        print(f"num_shards: {report.num_shards}", file=out)
+        print(f"shard_ticks: {report.shard_ticks}", file=out)
+        print(
+            f"critical_path_s: {report.critical_path_seconds:.4f}", file=out
+        )
+        print(
+            f"ledger_frames: {report.ledger.frames_processed} "
+            f"ledger_requests: {report.ledger.requests}",
+            file=out,
+        )
 
 
 def _run_watch(args: argparse.Namespace, out) -> None:
@@ -702,6 +775,9 @@ def _run_watch(args: argparse.Namespace, out) -> None:
         gate_delta=args.gate_delta,
     )
     lanes = build_fleet_lanes(experiment, args.streams, seed=args.seed)
+    if args.shards > 1:
+        _run_watch_sharded(args, out, experiment, lanes)
+        return
     service = FleetCIService([lane.stream for lane in lanes])
     failure_policy = "raise"
     if args.fault_rate > 0:
@@ -789,6 +865,102 @@ def _run_watch(args: argparse.Namespace, out) -> None:
             )
     if args.timeseries_out is not None:
         obs.write_timeseries_json(args.timeseries_out, store=store)
+    if args.flight_out is not None:
+        obs.write_flight_json(args.flight_out, recorder=recorder)
+
+
+def _run_watch_sharded(args: argparse.Namespace, out, experiment, lanes) -> None:
+    """Sharded watch: heartbeat progress stream plus the merged post-run
+    summary.
+
+    Shard workers own their telemetry (fresh registries/recorders per
+    process, merged home when the run completes), so there is no live
+    fleet-wide dashboard to redraw mid-run; the coordinator streams
+    per-shard heartbeat lines instead and renders the merged state —
+    run summary, shed/admission transitions, flight-recorder dumps —
+    once every shard reports in.
+    """
+    sharded = sharded_fleet_marshaller(
+        experiment,
+        args.shards,
+        confidence=args.confidence,
+        alpha=args.alpha,
+        scheduler=args.scheduler,
+        tick_budget_frames=args.budget_frames,
+        engine=args.engine,
+        gate_delta=args.gate_delta,
+        partition=args.partition,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+        start_method=args.start_method,
+        heartbeat_every=max(1, args.refresh_ticks),
+    )
+    failure_policy = args.failure_policy if args.fault_rate > 0 else "raise"
+    title = (
+        f"repro watch | {args.task} | {args.streams} streams "
+        f"| {args.shards} shards"
+    )
+    print(title, file=out)
+
+    def progress(shard: int, tick: int) -> None:
+        print(f"[shard {shard}] tick {tick}", file=out)
+        flush = getattr(out, "flush", None)
+        if flush is not None:
+            flush()
+
+    report = sharded.run(
+        lanes,
+        max_horizons=args.max_horizons,
+        failure_policy=failure_policy,
+        on_heartbeat=progress,
+    )
+
+    print(file=out)
+    print("== run summary ==", file=out)
+    summary = report.to_dict()
+    for key in (
+        "num_streams",
+        "num_shards",
+        "scheduler",
+        "ticks",
+        "shard_ticks",
+        "heartbeats",
+        "relays_flushed",
+        "relays_postponed",
+        "shared_cost",
+        "shed_transitions",
+        "readmit_transitions",
+    ):
+        print(f"{key}: {summary[key]}", file=out)
+    print(f"frame_recall: {report.fleet.frame_recall:.4f}", file=out)
+    print(
+        f"ledger: frames={report.ledger.frames_processed} "
+        f"requests={report.ledger.requests} "
+        f"cost={report.ledger.total_cost:.4f}",
+        file=out,
+    )
+    recorder = obs.get_flight_recorder()
+    if recorder.dumps:
+        print(file=out)
+        print(
+            f"== flight-recorder dumps ({len(recorder.dumps)}) ==",
+            file=out,
+        )
+        for dump in recorder.dumps:
+            shard = dump.get("shard")
+            print(
+                f"tick {dump['tick']}: {dump['reason']}"
+                + (f" (lane {dump['lane']})" if dump.get("lane") else "")
+                + (f" [shard {shard}]" if shard is not None else ""),
+                file=out,
+            )
+    if args.timeseries_out is not None:
+        print(file=out)
+        print(
+            "note: --timeseries-out is per-process state and is not "
+            "merged across shards; rerun with --shards 1 to sample it",
+            file=out,
+        )
     if args.flight_out is not None:
         obs.write_flight_json(args.flight_out, recorder=recorder)
 

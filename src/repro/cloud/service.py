@@ -81,6 +81,31 @@ class UsageLedger:
         self.total_cost = 0.0
         self.frames_per_event.clear()
 
+    def merge(self, *others: "UsageLedger") -> "UsageLedger":
+        """Fold other ledgers into this one (multi-account aggregation).
+
+        Frame/request counts and costs add; ``frames_per_event`` unions
+        key-wise.  Returns ``self`` so ``UsageLedger().merge(*ledgers)``
+        builds a fresh rollup — the coordinator merges shard-local
+        ledger deltas this way, which is exact because frames and
+        requests are integers and each shard's cost was billed against
+        its own account.
+        """
+        for other in others:
+            self.frames_processed += other.frames_processed
+            self.requests += other.requests
+            self.total_cost += other.total_cost
+            for name, frames in other.frames_per_event.items():
+                self.frames_per_event[name] = (
+                    self.frames_per_event.get(name, 0) + frames
+                )
+        return self
+
+    @classmethod
+    def merged(cls, ledgers: Sequence["UsageLedger"]) -> "UsageLedger":
+        """A new ledger aggregating ``ledgers`` (inputs untouched)."""
+        return cls().merge(*ledgers)
+
 
 class CloudInferenceService:
     """A pay-per-frame event-detection service over a known stream.

@@ -7,9 +7,23 @@ and flushes them through a pluggable :class:`FleetScheduler` under a
 global per-tick frame budget — byte-identical per-stream reports to N
 sequential runs under round-robin scheduling on fault-free
 infrastructure.
+
+Past a few hundred lanes one process saturates:
+:class:`ShardedFleetMarshaller` partitions the lane set across worker
+processes (each a complete marshalling stack) and merges reports,
+ledgers, and observability exactly, while :class:`AdmissionController`
+bounds intake and sheds pressured lanes to a degraded relay-all tier —
+never dropping frames.
 """
 
-from .marshaller import FleetLane, FleetMarshaller, FleetReport
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDriver,
+    AdmissionQueueFull,
+    Transition,
+)
+from .marshaller import LANE_MODES, FleetLane, FleetMarshaller, FleetReport
 from .scheduler import (
     SCHEDULERS,
     CostAwareScheduler,
@@ -21,6 +35,17 @@ from .scheduler import (
     make_scheduler,
 )
 from .service import FleetCIService
+from .sharded import (
+    PARTITIONS,
+    ChaosServiceFactory,
+    PlainServiceFactory,
+    ShardResult,
+    ShardedFleetMarshaller,
+    ShardedFleetReport,
+    contiguous_partition,
+    make_partition,
+    striped_partition,
+)
 
 __all__ = [
     "FleetLane",
@@ -35,4 +60,19 @@ __all__ = [
     "SchedulerContext",
     "SCHEDULERS",
     "make_scheduler",
+    "LANE_MODES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDriver",
+    "AdmissionQueueFull",
+    "Transition",
+    "ShardedFleetMarshaller",
+    "ShardedFleetReport",
+    "ShardResult",
+    "PlainServiceFactory",
+    "ChaosServiceFactory",
+    "PARTITIONS",
+    "contiguous_partition",
+    "striped_partition",
+    "make_partition",
 ]

@@ -66,7 +66,14 @@ from .scheduler import (
     make_scheduler,
 )
 
-__all__ = ["FleetLane", "FleetReport", "FleetMarshaller"]
+__all__ = ["FleetLane", "FleetReport", "FleetMarshaller", "LANE_MODES"]
+
+#: Per-lane serving modes (see ``FleetMarshaller.run(lane_modes=...)``).
+#: ``"serve"`` is the normal predicted path; ``"relay-all"`` is the shed
+#: tier — the lane bypasses the forward pass and relays its whole horizon
+#: through the shared pool (the quarantine fallback machinery), so load
+#: shedding degrades coverage *quality* (cost) but never drops frames.
+LANE_MODES = ("serve", "relay-all")
 
 
 @dataclass
@@ -93,6 +100,7 @@ class _LaneState:
         "guarded",
         "features",
         "last_health",
+        "mode",
     )
 
     def __init__(self, lane: FleetLane, start_frame: int):
@@ -113,6 +121,9 @@ class _LaneState:
         # Health code observed at the last guard triage (None = unguarded);
         # telemetry uses the transition into QUARANTINED as a trip wire.
         self.last_health: Optional[int] = None
+        # Current serving mode (one of LANE_MODES); admission control
+        # flips it between ticks via the run's ``lane_modes`` mapping.
+        self.mode: str = "serve"
 
     @property
     def name(self) -> str:
@@ -145,6 +156,8 @@ class FleetReport:
     relays_postponed: int = 0
     shared_cost: float = 0.0
     shared_frames: int = 0
+    shed_transitions: int = 0
+    readmit_transitions: int = 0
 
     @property
     def num_streams(self) -> int:
@@ -171,6 +184,8 @@ class FleetReport:
             "relays_postponed": self.relays_postponed,
             "shared_cost": self.shared_cost,
             "shared_frames": self.shared_frames,
+            "shed_transitions": self.shed_transitions,
+            "readmit_transitions": self.readmit_transitions,
             "attributed_cost": self.attributed_cost,
             "fleet": self.fleet.to_dict(include_detections=include_detections),
             "per_stream": {
@@ -376,6 +391,38 @@ class FleetMarshaller:
         state.frame += m.horizon
         return requests
 
+    def _lane_mode_transition(
+        self,
+        state: _LaneState,
+        mode: str,
+        report: FleetReport,
+        shed_events: List,
+        telemetry: bool,
+    ) -> None:
+        """Apply one shed/readmit transition at a tick boundary.
+
+        Shedding resets the lane's carried engine state: the lane's
+        frames keep advancing while it is degraded, so any recurrent
+        state would be stale by the time the lane predicts again.
+        Transitions are counted on the report (deterministic) and in the
+        ``fleet.shed.*`` counters, and queued for a flight-recorder
+        auto-dump once this tick's telemetry row has landed.
+        """
+        state.mode = mode
+        if mode == "relay-all":
+            report.shed_transitions += 1
+            inc("fleet.shed.degraded")
+            inc("fleet.shed.degraded." + state.name)
+            self.marshaller._engine_reset([state.name])
+            kind = "shed"
+        else:
+            report.readmit_transitions += 1
+            inc("fleet.shed.readmitted")
+            inc("fleet.shed.readmitted." + state.name)
+            kind = "readmit"
+        if telemetry:
+            shed_events.append((kind, state.name))
+
     def _schedule(
         self, requests: List[RelayRequest], states, tick: int
     ) -> List[RelayRequest]:
@@ -491,6 +538,7 @@ class FleetMarshaller:
         spent: int,
         tick_requests: Dict[str, int],
         newly_quarantined: List[str],
+        shed_events: List,
         books: Dict[str, float],
         tick_seconds: float,
         resilient,
@@ -509,6 +557,7 @@ class FleetMarshaller:
         the batched single-lock API.
         """
         quarantined = 0
+        shed = 0
         true_frames = 0
         detected = 0
         lost = 0
@@ -524,6 +573,8 @@ class FleetMarshaller:
             failed += rep.segments_failed
             if state.last_health == QUARANTINED:
                 quarantined += 1
+            if state.mode == "relay-all":
+                shed += 1
             entries.append((state.name, (
                 state.frame,
                 rep.horizons_evaluated,
@@ -542,6 +593,7 @@ class FleetMarshaller:
         if budget is not None:
             set_gauge("fleet.budget.utilization", spent / budget)
         set_gauge("fleet.lanes_quarantined", quarantined)
+        set_gauge("fleet.lanes_shed", shed)
         set_gauge(
             "fleet.recall_cum",
             detected / true_frames if true_frames else 1.0,
@@ -577,6 +629,8 @@ class FleetMarshaller:
         recorder.record_rows(tick, self._FLIGHT_FLEET_KEYS, (fleet_row,))
         for lane in newly_quarantined:
             recorder.auto_dump("quarantine", tick, lane)
+        for kind, lane in shed_events:
+            recorder.auto_dump(kind, tick, lane)
         if breaker is not None and breaker.open_count > books["opens"]:
             books["opens"] = breaker.open_count
             recorder.auto_dump("circuit-open", tick)
@@ -599,6 +653,7 @@ class FleetMarshaller:
         guard: Optional[StreamGuard] = None,
         on_tick=None,
         lifecycle=None,
+        lane_modes: Optional[Dict[str, str]] = None,
     ) -> FleetReport:
         """Marshal every lane tick by tick through the shared ``service``.
 
@@ -632,6 +687,20 @@ class FleetMarshaller:
         predicting on that tick takes one horizon of
         ``swap_voided_frames``.  A lifecycle that never swaps leaves every
         report byte-identical to a run without one.
+
+        ``lane_modes``, when given, is a live *mutable* mapping from lane
+        name to a :data:`LANE_MODES` entry, consulted at every tick
+        boundary (missing lanes serve normally).  Admission control
+        mutates it between ticks — typically from an ``on_tick`` hook
+        (:class:`~repro.fleet.admission.AdmissionDriver`) — to shed
+        pressured lanes to the ``"relay-all"`` degraded tier: a shed lane
+        skips the stacked forward pass and relays its whole horizon
+        through the shared pool, so frames are never dropped, only served
+        at baseline quality.  Transitions reset the lane's carried engine
+        state, bump ``fleet.shed.*`` counters and the report's
+        transition counts, and trigger flight-recorder dumps.  A mapping
+        that never leaves ``"serve"`` yields reports byte-identical to a
+        run without one.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -675,6 +744,7 @@ class FleetMarshaller:
                     break
                 tick_requests: Dict[str, int] = {}
                 newly_quarantined: List[str] = []
+                shed_events: List = []
                 with span(
                     "fleet.tick",
                     tick=tick,
@@ -683,12 +753,42 @@ class FleetMarshaller:
                 ) as tick_span:
                     pool = backlog
                     backlog = []
-                    predicting = active
-                    if guard is not None and active:
+                    serving = active
+                    if lane_modes is not None and active:
+                        # Admission triage: shed lanes take the degraded
+                        # relay-all tier — whole horizon into the shared
+                        # pool, no forward pass, no dropped frames.
+                        serving = []
+                        for state in active:
+                            mode = lane_modes.get(state.name, "serve")
+                            if mode not in LANE_MODES:
+                                raise ValueError(
+                                    f"lane mode for {state.name!r} must be "
+                                    f"one of {LANE_MODES}, got {mode!r}"
+                                )
+                            if mode != state.mode:
+                                self._lane_mode_transition(
+                                    state, mode, report, shed_events,
+                                    telemetry,
+                                )
+                            if state.mode == "relay-all":
+                                fallback = self._quarantine_tick(
+                                    state, tick, "relay-all"
+                                )
+                                if telemetry:
+                                    tick_requests[state.name] = (
+                                        tick_requests.get(state.name, 0)
+                                        + len(fallback)
+                                    )
+                                pool = pool + fallback
+                            else:
+                                serving.append(state)
+                    predicting = serving
+                    if guard is not None and serving:
                         # Health triage: quarantined lanes bypass the
                         # batched forward and fall back conservatively.
                         predicting = []
-                        for state in active:
+                        for state in serving:
                             health, voided = m._guard_bookkeeping(
                                 state.guarded, state.frame, state.report
                             )
@@ -759,8 +859,8 @@ class FleetMarshaller:
                 if telemetry:
                     self._tick_telemetry(
                         states, report, service, tick, backlog, spent,
-                        tick_requests, newly_quarantined, books,
-                        tick_span.seconds, resilient, breaker,
+                        tick_requests, newly_quarantined, shed_events,
+                        books, tick_span.seconds, resilient, breaker,
                     )
                 if on_tick is not None:
                     on_tick(tick)

@@ -1,0 +1,598 @@
+"""Sharded fleet scale-out: multi-process marshalling at 1k+ streams.
+
+One :class:`~repro.fleet.marshaller.FleetMarshaller` tick loop is a
+single Python process; past a few hundred lanes the stacked forward pass
+and the relay flush saturate one core while the others idle.  This
+module scales out by *partitioning* the lane set across N shard worker
+processes, each running its own complete marshalling stack — engine,
+resilient service wrapper, shard-local shadow ledgers, fresh
+observability singletons — while a coordinator drives the run and merges
+the results exactly:
+
+* **Per-stream reports** merge by construction: a lane's report depends
+  only on its own stream (the equivalence contract in
+  :mod:`repro.fleet.marshaller`), so with a fixed partition the sharded
+  run's per-stream ``to_dict()`` payloads are byte-identical to a
+  single-process :class:`FleetMarshaller` over the same lanes — pinned
+  in ``tests/fleet/test_sharded.py``, including under seeded chaos.
+* **Ledgers** merge exactly: each shard bills against its own account,
+  and frames/requests are integers, so
+  :meth:`~repro.cloud.service.UsageLedger.merge` reproduces the pooled
+  totals (costs add; under *tiered* pricing per-shard accounts walk the
+  tier schedule separately, so the merged cost is an upper bound on a
+  single pooled account — by design, and documented in DESIGN.md).
+* **Observability** merges deterministically: each worker starts from a
+  fresh :class:`~repro.obs.MetricsRegistry` / flight recorder, ships a
+  picklable snapshot home, and the coordinator folds snapshots into the
+  parent registry in sorted-name order
+  (:meth:`~repro.obs.MetricsRegistry.merge_from`), renaming each shard's
+  fleet pseudo-lane so flight rings never collide.
+
+Worker processes communicate over one duplex pipe each: heartbeat
+messages stream back per tick (the coordinator's liveness/progress
+signal) and a single :class:`ShardResult` returns at the end.  Workers
+never share state; a crashed shard surfaces as a
+:class:`RuntimeError` naming the shard and carrying its traceback.
+
+Admission control composes per shard: give the coordinator an
+:class:`~repro.fleet.admission.AdmissionConfig` and every worker runs
+its lanes through a shard-local
+:class:`~repro.fleet.admission.AdmissionController` — bounded intake
+queue drained in FIFO waves, pressured lanes shed to the relay-all tier
+between ticks, with every transition recorded in the shard's flight
+recorder and merged home.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cloud.faults import FaultInjector, FaultPlan
+from ..cloud.pricing import PricingModel
+from ..cloud.resilient import ResilientCIClient, RetryPolicy
+from ..cloud.service import UsageLedger
+from ..obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    TimeSeriesStore,
+    configure,
+    get_flight_recorder,
+    get_registry,
+    inc,
+    is_enabled,
+    log_info,
+    set_flight_recorder,
+    set_registry,
+    set_timeseries,
+)
+from ..obs.flight import FLEET_LANE
+from .admission import AdmissionConfig, AdmissionController, AdmissionDriver, Transition
+from .marshaller import FleetLane, FleetMarshaller, FleetReport
+from .service import FleetCIService
+
+__all__ = [
+    "PARTITIONS",
+    "ChaosServiceFactory",
+    "PlainServiceFactory",
+    "ShardResult",
+    "ShardedFleetMarshaller",
+    "ShardedFleetReport",
+    "contiguous_partition",
+    "make_partition",
+    "striped_partition",
+]
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def contiguous_partition(
+    lanes: Sequence[FleetLane], num_shards: int
+) -> List[List[FleetLane]]:
+    """Split ``lanes`` into ``num_shards`` balanced order-preserving blocks.
+
+    Sizes differ by at most one (earlier shards take the remainder), so
+    a fixed lane list always maps to the same shards — the determinism
+    the byte-identity pin depends on.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    lanes = list(lanes)
+    base, extra = divmod(len(lanes), num_shards)
+    shards: List[List[FleetLane]] = []
+    index = 0
+    for i in range(num_shards):
+        size = base + (1 if i < extra else 0)
+        shards.append(lanes[index:index + size])
+        index += size
+    return shards
+
+def striped_partition(
+    lanes: Sequence[FleetLane], num_shards: int
+) -> List[List[FleetLane]]:
+    """Deal ``lanes`` round-robin across shards (``lanes[i::num_shards]``).
+
+    Spreads heterogeneous lanes (e.g. the experiment's test stream plus
+    synthetic fleet lanes) evenly when contiguous blocks would skew one
+    shard's workload.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    lanes = list(lanes)
+    return [lanes[i::num_shards] for i in range(num_shards)]
+
+#: Registry of named partition strategies (CLI ``--partition``).
+PARTITIONS: Dict[str, Callable[[Sequence[FleetLane], int], List[List[FleetLane]]]] = {
+    "contiguous": contiguous_partition,
+    "striped": striped_partition,
+}
+
+def make_partition(partition) -> Callable[[Sequence[FleetLane], int], List[List[FleetLane]]]:
+    """Resolve a partition name or pass a callable through unchanged."""
+    if callable(partition):
+        return partition
+    try:
+        return PARTITIONS[partition]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition {partition!r}; choose from "
+            f"{sorted(PARTITIONS)} or pass a callable"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Service factories (picklable — they cross the process boundary)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlainServiceFactory:
+    """Build one fault-free :class:`FleetCIService` per shard."""
+
+    pricing: Optional[PricingModel] = None
+    ci_fps: float = 20.0
+
+    def __call__(self, shard_index: int, streams):
+        return FleetCIService(streams, pricing=self.pricing, ci_fps=self.ci_fps)
+
+@dataclass(frozen=True)
+class ChaosServiceFactory:
+    """Build one seeded faulty-but-resilient service stack per shard.
+
+    Each shard derives its own fault/retry seeds from ``seed`` and its
+    shard index, so a given partition replays bit-for-bit while shards
+    stay statistically independent.
+    """
+
+    fault_rate: float = 0.1
+    seed: int = 0
+    pricing: Optional[PricingModel] = None
+    ci_fps: float = 20.0
+    retry_policy: Optional[RetryPolicy] = None
+
+    def __call__(self, shard_index: int, streams):
+        shard_seed = self.seed + 101 * shard_index
+        service = FleetCIService(
+            streams, pricing=self.pricing, ci_fps=self.ci_fps
+        )
+        injector = FaultInjector(
+            service, FaultPlan(seed=shard_seed).with_failure_rate(self.fault_rate)
+        )
+        policy = self.retry_policy or RetryPolicy(seed=shard_seed)
+        return ResilientCIClient(injector, policy=policy)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class ShardResult:
+    """Everything one shard worker ships back to the coordinator."""
+
+    index: int
+    lane_names: List[str]
+    report: FleetReport
+    ledger: UsageLedger
+    registry_state: Dict
+    flight_lanes: Dict
+    flight_dumps: List[Dict]
+    busy_seconds: float
+    admission_events: List[Transition] = field(default_factory=list)
+
+@dataclass
+class ShardedFleetReport(FleetReport):
+    """A merged :class:`FleetReport` plus shard-level accounting.
+
+    ``ticks`` is the *maximum* over shards (shards tick concurrently;
+    the slowest defines fleet wall time) while relay/shed counters and
+    costs are sums.  ``ledger`` is the exact multi-account rollup of the
+    per-shard :class:`~repro.cloud.service.UsageLedger` deltas.
+    """
+
+    num_shards: int = 0
+    shard_ticks: List[int] = field(default_factory=list)
+    shard_busy_seconds: List[float] = field(default_factory=list)
+    coordinator_seconds: float = 0.0
+    heartbeats: int = 0
+    ledger: UsageLedger = field(default_factory=UsageLedger)
+    admission_events: List[Tuple[int, Transition]] = field(default_factory=list)
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """The run's parallel critical path: the busiest shard's CPU time
+        plus coordination (partition + merge) overhead.  On a machine
+        with >= ``num_shards`` free cores this is the wall-clock floor;
+        the throughput benchmark gates on it because it is
+        machine-independent where wall time on a shared CI box is not."""
+        return max(self.shard_busy_seconds, default=0.0) + self.coordinator_seconds
+
+    def to_dict(self, include_detections: bool = False) -> Dict[str, object]:
+        out = super().to_dict(include_detections=include_detections)
+        out["num_shards"] = self.num_shards
+        out["shard_ticks"] = list(self.shard_ticks)
+        out["heartbeats"] = self.heartbeats
+        out["ledger"] = {
+            "frames_processed": self.ledger.frames_processed,
+            "requests": self.ledger.requests,
+            "total_cost": self.ledger.total_cost,
+            "frames_per_event": dict(sorted(self.ledger.frames_per_event.items())),
+        }
+        out["admission_events"] = [
+            {"shard": shard, "kind": t.kind, "lane": t.lane, "tick": t.tick}
+            for shard, t in self.admission_events
+        ]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _HeartbeatSender:
+    """Per-tick pipe heartbeat, decimated to every ``every`` ticks."""
+
+    def __init__(self, conn, shard_index: int, every: int):
+        self.conn = conn
+        self.shard_index = shard_index
+        self.every = max(1, int(every))
+        self.ticks = 0
+
+    def __call__(self, tick: int) -> None:
+        self.ticks += 1
+        if tick % self.every == 0:
+            self.conn.send(("tick", self.shard_index, tick))
+
+def _fold_wave(total: FleetReport, wave: FleetReport) -> None:
+    """Accumulate one admission wave's report into the shard total.
+
+    Waves run *sequentially* inside a worker, so ticks add (unlike the
+    coordinator's cross-shard merge, where concurrent shards take the
+    max).
+    """
+    total.per_stream.update(wave.per_stream)
+    total.ticks += wave.ticks
+    total.max_batch_size = max(total.max_batch_size, wave.max_batch_size)
+    total.relays_flushed += wave.relays_flushed
+    total.relays_postponed += wave.relays_postponed
+    total.shared_cost += wave.shared_cost
+    total.shared_frames += wave.shared_frames
+    total.shed_transitions += wave.shed_transitions
+    total.readmit_transitions += wave.readmit_transitions
+
+def _run_shard(conn, shard_index: int, payload: Dict) -> ShardResult:
+    # Fresh observability singletons, always: under "fork" the child
+    # inherits the parent's registry and would double-count every metric
+    # it merges home; under "spawn" these are fresh anyway but the
+    # configure() switch still needs setting.
+    set_registry(MetricsRegistry())
+    set_flight_recorder(FlightRecorder())
+    set_timeseries(TimeSeriesStore())
+    configure(enabled=payload["telemetry"])
+
+    fleet: FleetMarshaller = payload["fleet"]
+    lanes: List[FleetLane] = payload["lanes"]
+    run_kwargs: Dict = payload["run_kwargs"]
+    factory = payload["service_factory"]
+    admission: Optional[AdmissionConfig] = payload["admission"]
+    signals = payload["admission_signals"]
+
+    busy_start = time.process_time()
+    service = factory(shard_index, [lane.stream for lane in lanes])
+    heartbeat = _HeartbeatSender(
+        conn, shard_index, payload["heartbeat_every"]
+    )
+    admission_events: List[Transition] = []
+    if admission is None:
+        report = fleet.run(lanes, service, on_tick=heartbeat, **run_kwargs)
+    else:
+        by_name = {lane.name: lane for lane in lanes}
+        controller = AdmissionController(admission)
+        serving, _ = controller.submit([lane.name for lane in lanes])
+        lane_modes: Dict[str, str] = {}
+        driver = AdmissionDriver(
+            controller, lane_modes, signals=signals, on_tick=heartbeat
+        )
+        report = FleetReport(scheduler=fleet.scheduler.name)
+        while serving:
+            wave = fleet.run(
+                [by_name[name] for name in serving],
+                service,
+                on_tick=driver,
+                lane_modes=lane_modes,
+                **run_kwargs,
+            )
+            _fold_wave(report, wave)
+            controller.retire(serving)
+            for name in serving:
+                lane_modes.pop(name, None)
+            serving = controller.next_wave()
+        admission_events = list(controller.events)
+    busy_seconds = time.process_time() - busy_start
+
+    registry = get_registry()
+    recorder = get_flight_recorder()
+    return ShardResult(
+        index=shard_index,
+        lane_names=[lane.name for lane in lanes],
+        report=report,
+        ledger=service.ledger,
+        registry_state=registry.dump_state() if payload["telemetry"] else {},
+        flight_lanes=recorder.snapshot() if payload["telemetry"] else {},
+        flight_dumps=recorder.dumps if payload["telemetry"] else [],
+        busy_seconds=busy_seconds,
+        admission_events=admission_events,
+    )
+
+def _shard_worker(conn, shard_index: int, payload: Dict) -> None:
+    """Process entry point (module-level, so ``spawn`` can pickle it)."""
+    try:
+        result = _run_shard(conn, shard_index, payload)
+        conn.send(("done", shard_index, result))
+    except Exception:
+        conn.send(("error", shard_index, traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class ShardedFleetMarshaller:
+    """Partition a lane set across worker processes and merge exactly.
+
+    Parameters
+    ----------
+    fleet:
+        The fleet marshaller each worker replicates (pickled to every
+        shard; workers never share it).  Scheduler and budget apply
+        *per shard*.
+    num_shards:
+        Worker process count.  Empty shards (more shards than lanes)
+        are skipped.
+    partition:
+        A :data:`PARTITIONS` name or a callable
+        ``partition(lanes, num_shards) -> List[List[FleetLane]]``.
+        The partition is the reproducibility contract: a fixed partition
+        makes the whole run deterministic.
+    service_factory:
+        Picklable ``factory(shard_index, streams) -> service`` building
+        each shard's private CI stack; defaults to
+        :class:`PlainServiceFactory`.
+    admission:
+        Optional :class:`~repro.fleet.admission.AdmissionConfig`; when
+        given, every shard runs intake + load shedding locally.
+    admission_signals:
+        Optional picklable ``signals(tick) -> (latency_p99,
+        backlog_frames)`` override for the shard admission drivers
+        (tests inject synthetic overload this way; default reads each
+        shard's live registry).
+    start_method:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/
+        ``None`` = platform default).  Everything a worker needs is
+        pickled, so ``spawn`` works everywhere; the CI runs a spawn
+        smoke test to keep it that way.
+    heartbeat_every:
+        Stream a liveness heartbeat every N worker ticks.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetMarshaller,
+        num_shards: int,
+        partition="contiguous",
+        service_factory=None,
+        admission: Optional[AdmissionConfig] = None,
+        admission_signals=None,
+        start_method: Optional[str] = None,
+        heartbeat_every: int = 1,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if heartbeat_every < 1:
+            raise ValueError("heartbeat_every must be >= 1")
+        self.fleet = fleet
+        self.num_shards = int(num_shards)
+        self.partition = make_partition(partition)
+        self.service_factory = service_factory or PlainServiceFactory()
+        self.admission = admission
+        self.admission_signals = admission_signals
+        self.start_method = start_method
+        self.heartbeat_every = int(heartbeat_every)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        lanes: Sequence[FleetLane],
+        start_frame: Optional[int] = None,
+        max_horizons: Optional[int] = None,
+        failure_policy: str = "raise",
+        max_deferrals: int = 8,
+        guard=None,
+        on_heartbeat: Optional[Callable[[int, int], None]] = None,
+    ) -> ShardedFleetReport:
+        """Marshal ``lanes`` across the shard fleet and merge the results.
+
+        ``start_frame`` / ``max_horizons`` / ``failure_policy`` /
+        ``max_deferrals`` / ``guard`` are forwarded verbatim to every
+        shard's :meth:`FleetMarshaller.run`.  ``on_heartbeat``, when
+        given, is called as ``on_heartbeat(shard_index, tick)`` for every
+        heartbeat message a worker streams back — the live-progress hook
+        the ``watch --shards`` dashboard draws from.
+
+        Returns a :class:`ShardedFleetReport` whose ``per_stream``
+        mapping follows the *original* lane order regardless of the
+        partition, so ``to_dict()`` comparisons against a
+        single-process run need no canonicalisation.
+        """
+        lanes = list(lanes)
+        if not lanes:
+            raise ValueError("a sharded fleet run needs at least one lane")
+        coord_start = time.perf_counter()
+        shards = [s for s in self.partition(lanes, self.num_shards) if s]
+        partitioned = [lane.name for shard in shards for lane in shard]
+        if sorted(partitioned) != sorted(lane.name for lane in lanes):
+            raise ValueError(
+                "partition must produce a permutation of the lane set"
+            )
+        run_kwargs = {
+            "start_frame": start_frame,
+            "max_horizons": max_horizons,
+            "failure_policy": failure_policy,
+            "max_deferrals": max_deferrals,
+            "guard": guard,
+        }
+        telemetry = is_enabled()
+        coordinator_seconds = time.perf_counter() - coord_start
+
+        context = mp.get_context(self.start_method)
+        processes = []
+        pending: Dict[object, int] = {}
+        for index, shard in enumerate(shards):
+            payload = {
+                "fleet": self.fleet,
+                "lanes": shard,
+                "run_kwargs": run_kwargs,
+                "service_factory": self.service_factory,
+                "admission": self.admission,
+                "admission_signals": self.admission_signals,
+                "telemetry": telemetry,
+                "heartbeat_every": self.heartbeat_every,
+            }
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(child_conn, index, payload),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()  # the worker owns its end now
+            processes.append(process)
+            pending[parent_conn] = index
+
+        results: Dict[int, ShardResult] = {}
+        errors: Dict[int, str] = {}
+        heartbeats = 0
+        while pending:
+            for conn in mp_connection.wait(list(pending)):
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    index = pending.pop(conn)
+                    conn.close()
+                    if index not in results and index not in errors:
+                        errors[index] = "shard worker exited without a result"
+                    continue
+                kind = message[0]
+                if kind == "tick":
+                    _, index, tick = message
+                    heartbeats += 1
+                    if on_heartbeat is not None:
+                        on_heartbeat(index, tick)
+                elif kind == "done":
+                    results[message[1]] = message[2]
+                elif kind == "error":
+                    errors[message[1]] = message[2]
+        for process in processes:
+            process.join()
+        if errors:
+            detail = "\n\n".join(
+                f"--- shard {index} ---\n{tb}"
+                for index, tb in sorted(errors.items())
+            )
+            raise RuntimeError(
+                f"{len(errors)} shard(s) failed:\n{detail}"
+            )
+
+        merge_start = time.perf_counter()
+        report = self._merge(lanes, shards, results, telemetry)
+        report.heartbeats = heartbeats
+        report.coordinator_seconds = (
+            coordinator_seconds + time.perf_counter() - merge_start
+        )
+        inc("fleet.sharded.runs")
+        log_info(
+            "fleet.sharded_complete",
+            shards=len(shards),
+            streams=len(lanes),
+            ticks=report.ticks,
+            heartbeats=heartbeats,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        lanes: Sequence[FleetLane],
+        shards: Sequence[Sequence[FleetLane]],
+        results: Dict[int, ShardResult],
+        telemetry: bool,
+    ) -> ShardedFleetReport:
+        report = ShardedFleetReport(
+            scheduler=self.fleet.scheduler.name,
+            num_shards=len(shards),
+        )
+        by_lane = {}
+        for index in sorted(results):
+            res = results[index]
+            report.shard_ticks.append(res.report.ticks)
+            report.shard_busy_seconds.append(res.busy_seconds)
+            report.ticks = max(report.ticks, res.report.ticks)
+            report.max_batch_size = max(
+                report.max_batch_size, res.report.max_batch_size
+            )
+            report.relays_flushed += res.report.relays_flushed
+            report.relays_postponed += res.report.relays_postponed
+            report.shared_cost += res.report.shared_cost
+            report.shared_frames += res.report.shared_frames
+            report.shed_transitions += res.report.shed_transitions
+            report.readmit_transitions += res.report.readmit_transitions
+            report.ledger.merge(res.ledger)
+            report.admission_events.extend(
+                (index, transition) for transition in res.admission_events
+            )
+            by_lane.update(res.report.per_stream)
+            if telemetry:
+                registry = get_registry()
+                registry.merge_from(res.registry_state)
+                recorder = get_flight_recorder()
+                shard_fleet_lane = f"{FLEET_LANE}/shard{index}"
+                renamed = {
+                    (shard_fleet_lane if lane == FLEET_LANE else lane): entries
+                    for lane, entries in res.flight_lanes.items()
+                }
+                dumps = []
+                for dump in res.flight_dumps:
+                    dump = dict(dump)
+                    dump["shard"] = index
+                    dump["lanes"] = {
+                        (shard_fleet_lane if lane == FLEET_LANE else lane): rows
+                        for lane, rows in dump.get("lanes", {}).items()
+                    }
+                    dumps.append(dump)
+                recorder.merge_from(renamed, dumps=dumps)
+        # Original lane order, whatever the partition did.
+        for lane in lanes:
+            report.per_stream[lane.name] = by_lane[lane.name]
+        return report

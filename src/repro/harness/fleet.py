@@ -20,7 +20,16 @@ import numpy as np
 from ..cloud import CloudInferenceService, StreamMarshaller
 from ..core import BatchedInference, make_engine
 from ..features import CovariatePipeline, FeatureExtractor
-from ..fleet import FleetCIService, FleetLane, FleetMarshaller, FleetReport
+from ..fleet import (
+    AdmissionConfig,
+    ChaosServiceFactory,
+    FleetCIService,
+    FleetLane,
+    FleetMarshaller,
+    FleetReport,
+    PlainServiceFactory,
+    ShardedFleetMarshaller,
+)
 from ..obs import log_info, span
 from .chaos import chaos_marshaller
 from .experiments import Experiment
@@ -32,6 +41,8 @@ __all__ = [
     "sequential_fleet_baseline",
     "fleet_throughput_sweep",
     "continual_gate_sweep",
+    "sharded_fleet_marshaller",
+    "sharded_throughput_sweep",
 ]
 
 #: Seed offset separating fleet streams from the builder's train/cal/test
@@ -43,7 +54,8 @@ def build_fleet_lanes(
     experiment: Experiment,
     num_streams: int,
     seed: int = 0,
-) -> List[FleetLane]:
+    partition=None,
+):
     """N exchangeable camera lanes for the experiment's dataset process.
 
     Each lane is a fresh seed of the task's :class:`DatasetSpec` — same
@@ -51,6 +63,14 @@ def build_fleet_lanes(
     extracted by the standard detector-simulation pipeline.  Lane 0 always
     reuses the experiment's own test stream, so a size-1 fleet is exactly
     the familiar single-stream deployment.
+
+    ``partition``, when given, is a callable ``partition(lanes) -> X``
+    applied to the finished lane list before returning — the seam that
+    guarantees sharded and sequential runs are built from *identical*
+    lane objects (e.g. ``partition=lambda lanes:
+    contiguous_partition(lanes, 4)`` returns the shard assignment the
+    sharded run will use, computed from the very lanes the unsharded
+    reference run serves).
     """
     if num_streams < 1:
         raise ValueError("num_streams must be >= 1")
@@ -74,6 +94,8 @@ def build_fleet_lanes(
         lanes.append(
             FleetLane(stream=stream, features=extractor.extract(stream, event_types))
         )
+    if partition is not None:
+        return partition(lanes)
     return lanes
 
 
@@ -205,6 +227,113 @@ def fleet_throughput_sweep(
                 streams=size,
                 fleet_fps=round(fleet_fps, 1),
                 seq_fps=round(seq_fps, 1),
+                speedup=round(row["speedup"], 2),
+            )
+    return rows
+
+
+def sharded_fleet_marshaller(
+    experiment: Experiment,
+    num_shards: int,
+    confidence: float = 0.9,
+    alpha: float = 0.9,
+    scheduler: str = "round-robin",
+    tick_budget_frames: Optional[int] = None,
+    engine: str = "windowed",
+    gate_delta: Optional[float] = None,
+    partition: str = "contiguous",
+    fault_rate: float = 0.0,
+    seed: int = 0,
+    admission: Optional[AdmissionConfig] = None,
+    start_method: Optional[str] = None,
+    heartbeat_every: int = 1,
+) -> ShardedFleetMarshaller:
+    """The deployment-shaped multi-process fleet engine.
+
+    Wraps :func:`fleet_marshaller`'s stack in a
+    :class:`~repro.fleet.ShardedFleetMarshaller`; ``fault_rate > 0``
+    swaps the per-shard service factory to a seeded
+    :class:`~repro.fleet.ChaosServiceFactory` (resilient client over a
+    fault injector, shard-independent seeds).
+    """
+    fleet = fleet_marshaller(
+        experiment,
+        confidence=confidence,
+        alpha=alpha,
+        scheduler=scheduler,
+        tick_budget_frames=tick_budget_frames,
+        engine=engine,
+        gate_delta=gate_delta,
+    )
+    if fault_rate > 0:
+        factory = ChaosServiceFactory(fault_rate=fault_rate, seed=seed)
+    else:
+        factory = PlainServiceFactory()
+    return ShardedFleetMarshaller(
+        fleet,
+        num_shards,
+        partition=partition,
+        service_factory=factory,
+        admission=admission,
+        start_method=start_method,
+        heartbeat_every=heartbeat_every,
+    )
+
+
+def sharded_throughput_sweep(
+    experiment: Experiment,
+    stream_counts: Sequence[int] = (64, 256, 1024),
+    num_shards: int = 4,
+    max_horizons: Optional[int] = 2,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Critical-path speedup of the sharded fleet versus one process.
+
+    For each stream count the same lanes are served twice: once through
+    a single-process :class:`FleetMarshaller` (timed with
+    ``perf_counter``) and once through a ``num_shards``-way
+    :class:`~repro.fleet.ShardedFleetMarshaller`.  The sharded figure of
+    merit is the **critical path** — the busiest shard's CPU time plus
+    coordination overhead — which equals sharded wall time on a machine
+    with ``num_shards`` free cores but is reproducible on a loaded or
+    single-core CI box, where wall time is not.  Backs the EXPERIMENTS.md
+    scale-out curve and the sharded throughput benchmark.
+    """
+    fleet = fleet_marshaller(experiment)
+    sharded = ShardedFleetMarshaller(fleet, num_shards)
+    lanes_all = build_fleet_lanes(experiment, max(stream_counts), seed=seed)
+    rows: List[Dict[str, float]] = []
+    with span("fleet.sharded_sweep", sizes=len(list(stream_counts)),
+              shards=num_shards):
+        for count in stream_counts:
+            lanes = lanes_all[:count]
+
+            start = time.perf_counter()
+            single = FleetCIService([lane.stream for lane in lanes])
+            report = fleet.run(lanes, single, max_horizons=max_horizons)
+            single_s = time.perf_counter() - start
+            frames = report.fleet.frames_covered
+
+            sharded_report = sharded.run(lanes, max_horizons=max_horizons)
+            critical_s = sharded_report.critical_path_seconds
+            row = {
+                "streams": count,
+                "shards": num_shards,
+                "frames": frames,
+                "single_s": single_s,
+                "busy_max_s": max(sharded_report.shard_busy_seconds, default=0.0),
+                "coordinator_s": sharded_report.coordinator_seconds,
+                "critical_path_s": critical_s,
+                "speedup": single_s / critical_s if critical_s > 0 else float("inf"),
+                "single_fps": frames / single_s if single_s > 0 else float("inf"),
+                "sharded_fps": frames / critical_s if critical_s > 0 else float("inf"),
+            }
+            rows.append(row)
+            log_info(
+                "fleet.sharded_sweep_point",
+                streams=count,
+                single_s=round(single_s, 3),
+                critical_path_s=round(critical_s, 3),
                 speedup=round(row["speedup"], 2),
             )
     return rows

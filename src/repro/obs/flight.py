@@ -97,6 +97,30 @@ class FlightRecorder:
                     self._lanes[lane] = ring
                 ring.append((tick, keys, values))
 
+    def merge_from(self, snapshot: Dict[str, List[Dict]],
+                   dumps=()) -> None:
+        """Fold another recorder's :meth:`snapshot` (and archived dumps)
+        into this one — the coordinator-side aggregation of shard-local
+        recorders.
+
+        Records append per lane in snapshot order (rings still evict
+        oldest-first at capacity) and merged dumps count toward
+        ``dumps_total``.  The caller is responsible for lane-name
+        uniqueness across sources (shard workers' fleet pseudo-lanes are
+        renamed before merging).
+        """
+        with self._lock:
+            for lane, entries in snapshot.items():
+                ring = self._lanes.get(lane)
+                if ring is None:
+                    ring = deque(maxlen=self.capacity)
+                    self._lanes[lane] = ring
+                for entry in entries:
+                    ring.append(dict(entry))
+            for dump in dumps:
+                self._dumps.append(dump)
+                self._dumps_total += 1
+
     def lanes(self) -> List[str]:
         with self._lock:
             return list(self._lanes)

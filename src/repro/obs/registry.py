@@ -103,6 +103,26 @@ class Gauge:
                         "max": float("nan")}
             return {"value": self._value, "min": self._min, "max": self._max}
 
+    def merge_state(self, state: Dict[str, float]) -> None:
+        """Fold another gauge's :meth:`snapshot` into this one.
+
+        The min/max envelopes union; the last value is taken from the
+        merged state (never-set gauges — all-NaN snapshots — are a
+        no-op).  The caller fixes the merge order, so folding shards in
+        index order is deterministic.
+        """
+        value = state.get("value")
+        if value is None or value != value:
+            return
+        with self._lock:
+            self._value = float(value)
+            low = state.get("min", value)
+            high = state.get("max", value)
+            if low == low:
+                self._min = min(self._min, float(low))
+            if high == high:
+                self._max = max(self._max, float(high))
+
 
 class Histogram:
     """Streaming distribution summary via reservoir sampling (Algorithm R).
@@ -234,6 +254,51 @@ class Histogram:
             p50, p95, p99 = self._percentiles_locked()
             return (self._count, self._sum, p50, p95, p99)
 
+    def dump_state(self) -> Dict[str, object]:
+        """Mergeable deep state: exact moments plus the reservoir sample.
+
+        Unlike :meth:`snapshot` (a percentile *summary* for exporters),
+        the state dump carries everything :meth:`merge_state` needs to
+        fold this histogram into another one — the coordinator-side half
+        of cross-process registry aggregation.
+        """
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "capacity": self.capacity,
+                "reservoir": list(self._reservoir),
+            }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`dump_state` into this one.
+
+        ``count``/``sum`` add exactly and the min/max envelopes union.
+        The reservoirs concatenate; past capacity the combined sample is
+        decimated to evenly spaced elements — a deterministic reduction
+        (no RNG draw), so coordinator merges are reproducible, at the
+        price of the tail sample no longer being an exact uniform draw.
+        Percentile estimates stay within reservoir-sampling error.
+        """
+        count = int(state["count"])
+        if count == 0:
+            return
+        with self._lock:
+            self._count += count
+            self._sum += float(state["sum"])
+            self._min = min(self._min, float(state["min"]))
+            self._max = max(self._max, float(state["max"]))
+            combined = self._reservoir + [float(v) for v in state["reservoir"]]
+            if len(combined) > self.capacity:
+                step = len(combined) / self.capacity
+                combined = [
+                    combined[int(i * step)] for i in range(self.capacity)
+                ]
+            self._reservoir = combined
+            self._pcts_count = -1  # invalidate the cached percentile scan
+
     def snapshot(self) -> Dict[str, float]:
         # count/sum/min/max are read under the same lock as the percentile
         # scan so a concurrent observe() cannot produce a torn view (e.g.
@@ -326,6 +391,62 @@ class MetricsRegistry:
             elif isinstance(metric, Histogram):
                 out["histograms"][name] = metric.snapshot()
         return out
+
+    def dump_state(self) -> Dict[str, Dict]:
+        """Mergeable deep copy of the whole registry.
+
+        Shaped like :meth:`snapshot` — ``{"counters", "gauges",
+        "histograms"}`` keyed by metric name — but histograms carry
+        their full :meth:`Histogram.dump_state` (including the
+        reservoir) instead of the percentile summary, so the payload
+        round-trips through :meth:`merge_from` without information
+        loss.  Plain dicts/lists of floats: picklable and
+        JSON-serializable, which is what shard workers ship back to the
+        coordinator.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.snapshot()
+            elif isinstance(metric, Histogram):
+                out["histograms"][name] = metric.dump_state()
+        return out
+
+    def merge_from(self, state: Dict[str, Dict]) -> None:
+        """Deterministically fold a :meth:`dump_state` payload into this
+        registry (the coordinator-side aggregation of shard-local
+        registries).
+
+        Merge semantics per kind:
+
+        * **counters** add — merged totals equal what one shared counter
+          would have accumulated;
+        * **gauges** union their min/max envelopes and take the merged
+          state's last value (so folding shards in index order is
+          deterministic; never-set gauges are no-ops);
+        * **histograms** add ``count``/``sum`` exactly, union min/max,
+          and concatenate reservoirs with deterministic even-spaced
+          decimation past capacity (see :meth:`Histogram.merge_state`).
+
+        Metrics missing from this registry are created; names are
+        processed in sorted order, so repeated merges of the same states
+        in the same order produce bit-identical registries.
+        """
+        for name in sorted(state.get("counters", ())):
+            self.counter(name).inc(float(state["counters"][name]))
+        for name in sorted(state.get("gauges", ())):
+            self.gauge(name).merge_state(state["gauges"][name])
+        for name in sorted(state.get("histograms", ())):
+            payload = state["histograms"][name]
+            histogram = self.histogram(
+                name, capacity=int(payload.get("capacity", 2048))
+            )
+            histogram.merge_state(payload)
 
 
 _default_registry = MetricsRegistry()

@@ -1,0 +1,327 @@
+"""Admission control and load shedding: FSM semantics + fleet integration.
+
+The production-behavior pins:
+
+* shed lanes degrade to relay-all — horizons keep advancing and frames
+  keep getting covered (conservation), they are never dropped;
+* re-admission is hysteretic (``readmit_calm_heartbeats`` consecutive
+  calm samples), so a fleet hovering at the watermark doesn't flap;
+* a zero-pressure run through the admission machinery is byte-identical
+  to a run without it (the machinery is free until it acts);
+* every transition lands in the ``fleet.shed.*`` counters and as a
+  flight-recorder dump.
+"""
+
+import json
+
+import pytest
+
+from repro.cloud import StreamMarshaller
+from repro.core import EventHitConfig, train_eventhit
+from repro.data import build_experiment_data
+from repro.features import CovariatePipeline, FeatureExtractor
+from repro.fleet import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDriver,
+    AdmissionQueueFull,
+    FleetCIService,
+    FleetLane,
+    FleetMarshaller,
+)
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    configure,
+    get_flight_recorder,
+    get_registry,
+    set_flight_recorder,
+    set_registry,
+)
+from repro.video import make_stream, make_thumos
+
+CONFIG = EventHitConfig(
+    window_size=10,
+    horizon=200,
+    lstm_hidden=16,
+    shared_hidden=(16,),
+    head_hidden=(32,),
+    dropout=0.0,
+    learning_rate=5e-3,
+    epochs=8,
+    batch_size=32,
+    seed=0,
+)
+
+NUM_LANES = 4
+MAX_HORIZONS = 6
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = make_thumos(scale=0.06).with_events(["E7"])
+    data = build_experiment_data(spec, seed=0, max_records=150, stride=15)
+    model, _ = train_eventhit(data.train, config=CONFIG)
+    pipeline = CovariatePipeline(spec.window_size, standardizer=data.standardizer)
+    marshaller = StreamMarshaller(
+        model, data.event_types, pipeline, tau1=0.5, tau2=0.5
+    )
+    fleet = FleetMarshaller(marshaller)
+    extractor = FeatureExtractor()
+    lanes = [FleetLane(stream=data.test_stream, features=data.test_features)]
+    for i in range(1, NUM_LANES):
+        stream = make_stream(spec, seed=900 + i, name=f"lane{i}")
+        lanes.append(
+            FleetLane(
+                stream=stream, features=extractor.extract(stream, data.event_types)
+            )
+        )
+    return fleet, lanes
+
+
+def fresh_service(lanes):
+    return FleetCIService([lane.stream for lane in lanes])
+
+
+def hysteresis_config(**overrides):
+    defaults = dict(
+        max_lanes=8,
+        shed_latency_p99=1.0,
+        readmit_latency_p99=0.5,
+        shed_backlog_frames=1000,
+        readmit_backlog_frames=500,
+        readmit_calm_heartbeats=2,
+    )
+    defaults.update(overrides)
+    return AdmissionConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Controller FSM
+# ----------------------------------------------------------------------
+def test_submit_admits_up_to_capacity_then_queues():
+    controller = AdmissionController(AdmissionConfig(max_lanes=2, queue_capacity=3))
+    admitted, queued = controller.submit(["a", "b", "c", "d"])
+    assert admitted == ["a", "b"]
+    assert queued == ["c", "d"]
+    assert controller.serving_count() == 2
+    assert controller.queued_count() == 2
+    assert controller.lane_state("c") == "QUEUED"
+
+
+def test_bounded_queue_overflows_loudly():
+    controller = AdmissionController(AdmissionConfig(max_lanes=1, queue_capacity=1))
+    controller.submit(["a", "b"])
+    with pytest.raises(AdmissionQueueFull, match="'c'"):
+        controller.submit(["c"])
+    with pytest.raises(ValueError, match="already submitted"):
+        controller.submit(["a"])
+
+
+def test_waves_drain_fifo_after_retire():
+    controller = AdmissionController(AdmissionConfig(max_lanes=2, queue_capacity=8))
+    controller.submit(["a", "b", "c", "d", "e"])
+    controller.retire(["a", "b"])
+    assert controller.next_wave() == ["c", "d"]
+    controller.retire(["c", "d"])
+    assert controller.next_wave() == ["e"]
+    assert controller.next_wave() == []
+    assert controller.lane_state("a") == "RETIRED"
+
+
+def test_pressure_sheds_lifo_down_to_floor():
+    controller = AdmissionController(
+        hysteresis_config(min_serving_lanes=2)
+    )
+    controller.submit(["a", "b", "c"])
+    assert [t.lane for t in controller.heartbeat(0, 9.0, 0.0)] == ["c"]
+    assert [t.lane for t in controller.heartbeat(1, 9.0, 0.0)] == []
+    assert controller.lane_state("c") == "SHED"
+    assert controller.serving_count() == 2  # floor holds
+
+
+def test_backlog_watermark_also_sheds():
+    controller = AdmissionController(hysteresis_config())
+    controller.submit(["a", "b"])
+    transitions = controller.heartbeat(0, 0.0, 5000.0)
+    assert [t.kind for t in transitions] == ["shed"]
+
+
+def test_readmission_requires_consecutive_calm_heartbeats():
+    controller = AdmissionController(hysteresis_config())
+    controller.submit(["a", "b", "c"])
+    controller.heartbeat(0, 9.0, 0.0)  # shed c
+    controller.heartbeat(1, 9.0, 0.0)  # shed b
+    assert controller.shed_count() == 2
+
+    # One calm sample is not enough; pressure resets the streak.
+    assert controller.heartbeat(2, 0.1, 0.0) == []
+    assert controller.heartbeat(3, 9.0, 0.0) == []  # min floor, streak reset
+    assert controller.heartbeat(4, 0.1, 0.0) == []
+    # Second consecutive calm: FIFO readmit (c was shed first).
+    transitions = controller.heartbeat(5, 0.1, 0.0)
+    assert [(t.kind, t.lane) for t in transitions] == [("readmit", "c")]
+    # Streak restarts after a readmit: b needs two more calm samples.
+    assert controller.heartbeat(6, 0.1, 0.0) == []
+    assert [t.lane for t in controller.heartbeat(7, 0.1, 0.0)] == ["b"]
+    assert controller.shed_count() == 0
+
+
+def test_hysteresis_band_holds_the_streak():
+    controller = AdmissionController(hysteresis_config())
+    controller.submit(["a", "b"])
+    controller.heartbeat(0, 9.0, 0.0)  # shed b
+    controller.heartbeat(1, 0.1, 0.0)  # calm: streak 1
+    # 0.7 is between readmit (0.5) and shed (1.0): streak neither grows
+    # nor resets — the no-flap band.
+    assert controller.heartbeat(2, 0.7, 0.0) == []
+    assert [t.lane for t in controller.heartbeat(3, 0.1, 0.0)] == ["b"]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="hysteresis"):
+        AdmissionConfig(shed_latency_p99=0.5, readmit_latency_p99=1.0)
+    with pytest.raises(ValueError, match="readmit_backlog_frames"):
+        AdmissionConfig(shed_backlog_frames=10, readmit_backlog_frames=20)
+    with pytest.raises(ValueError, match="max_lanes"):
+        AdmissionConfig(max_lanes=0)
+    with pytest.raises(ValueError, match="min_serving_lanes"):
+        AdmissionConfig(min_serving_lanes=0)
+
+
+# ----------------------------------------------------------------------
+# Fleet integration
+# ----------------------------------------------------------------------
+def run_with_pressure(fleet, lanes, signals, config=None):
+    controller = AdmissionController(config or hysteresis_config())
+    controller.submit([lane.name for lane in lanes])
+    lane_modes = {}
+    driver = AdmissionDriver(controller, lane_modes, signals=signals)
+    report = fleet.run(
+        lanes,
+        fresh_service(lanes),
+        max_horizons=MAX_HORIZONS,
+        on_tick=driver,
+        lane_modes=lane_modes,
+    )
+    return report, controller
+
+
+def test_zero_pressure_run_is_byte_identical(setup):
+    fleet, lanes = setup
+    baseline = fleet.run(lanes, fresh_service(lanes), max_horizons=MAX_HORIZONS)
+    report, controller = run_with_pressure(fleet, lanes, lambda tick: (0.0, 0.0))
+    assert controller.events == []
+    assert json.dumps(report.to_dict(), sort_keys=True) == json.dumps(
+        baseline.to_dict(), sort_keys=True
+    )
+
+
+def test_shedding_conserves_frames_and_never_drops(setup):
+    """Overload degrades lanes to relay-all: every lane still covers
+    every horizon, and the shed lanes' horizons are fully relayed —
+    coverage is conserved, quality (cost) is what degrades."""
+    fleet, lanes = setup
+    baseline = fleet.run(lanes, fresh_service(lanes), max_horizons=MAX_HORIZONS)
+
+    def pressure(tick):  # pressured early, calm after
+        return (9.9, 0.0) if tick < 2 else (0.0, 0.0)
+
+    report, controller = run_with_pressure(fleet, lanes, pressure)
+    assert report.shed_transitions > 0
+    assert report.readmit_transitions > 0
+    sheds = [t for t in controller.events if t.kind == "shed"]
+    readmits = [t for t in controller.events if t.kind == "readmit"]
+    assert sheds and readmits
+
+    # Conservation: same horizons, same covered frames, same truth
+    # frames — nothing dropped, lane by lane.
+    for name, lane_report in baseline.per_stream.items():
+        shed_report = report.per_stream[name]
+        assert shed_report.horizons_evaluated == lane_report.horizons_evaluated
+        assert shed_report.frames_covered == lane_report.frames_covered
+        assert shed_report.true_event_frames == lane_report.true_event_frames
+    # Relay-all relays whole horizons, so the degraded run relays at
+    # least as many frames fleet-wide.
+    assert report.fleet.frames_relayed >= baseline.fleet.frames_relayed
+    # And a shed lane's own relay volume strictly grows.
+    shed_lane = sheds[0].lane
+    assert (
+        report.per_stream[shed_lane].frames_relayed
+        > baseline.per_stream[shed_lane].frames_relayed
+    )
+
+
+def test_transitions_hit_counters_and_flight_recorder(setup):
+    fleet, lanes = setup
+    configure(enabled=True)
+    old_registry = set_registry(MetricsRegistry())
+    old_recorder = set_flight_recorder(FlightRecorder())
+    try:
+        def pressure(tick):
+            return (9.9, 0.0) if tick < 2 else (0.0, 0.0)
+
+        report, controller = run_with_pressure(fleet, lanes, pressure)
+        counters = get_registry().snapshot()["counters"]
+        assert counters["fleet.shed.degraded"] == report.shed_transitions
+        assert counters["fleet.shed.readmitted"] == report.readmit_transitions
+        shed_lane = controller.events[0].lane
+        assert counters["fleet.shed.degraded." + shed_lane] >= 1
+
+        reasons = [
+            (dump["reason"], dump["lane"])
+            for dump in get_flight_recorder().dumps
+        ]
+        # Every *applied* transition lands as a dump.  (A transition the
+        # controller emits on the final heartbeat is applied at the next
+        # tick boundary — which never comes — so it stays pending and is
+        # deliberately absent from both the report and the dumps.)
+        applied = report.shed_transitions + report.readmit_transitions
+        assert len(reasons) == applied
+        events = [(t.kind, t.lane) for t in controller.events]
+        for reason in reasons:
+            assert reason in events
+        assert any(kind == "shed" for kind, _ in reasons)
+        assert any(kind == "readmit" for kind, _ in reasons)
+    finally:
+        configure(enabled=False)
+        set_registry(old_registry)
+        set_flight_recorder(old_recorder)
+
+
+def test_driver_reads_live_registry_when_unsignalled(setup):
+    """Without a signals override the driver samples the fleet's own
+    backpressure metrics; an unpressured telemetered run stays inert."""
+    fleet, lanes = setup
+    configure(enabled=True)
+    old_registry = set_registry(MetricsRegistry())
+    old_recorder = set_flight_recorder(FlightRecorder())
+    try:
+        controller = AdmissionController(hysteresis_config())
+        controller.submit([lane.name for lane in lanes])
+        lane_modes = {}
+        driver = AdmissionDriver(controller, lane_modes)
+        report = fleet.run(
+            lanes,
+            fresh_service(lanes),
+            max_horizons=2,
+            on_tick=driver,
+            lane_modes=lane_modes,
+        )
+        assert controller.events == []
+        assert report.shed_transitions == 0
+    finally:
+        configure(enabled=False)
+        set_registry(old_registry)
+        set_flight_recorder(old_recorder)
+
+
+def test_invalid_lane_mode_rejected(setup):
+    fleet, lanes = setup
+    with pytest.raises(ValueError, match="lane mode"):
+        fleet.run(
+            lanes,
+            fresh_service(lanes),
+            max_horizons=1,
+            lane_modes={lanes[0].name: "halt"},
+        )

@@ -1,0 +1,198 @@
+"""Merge laws and pickle round-trips for the report/ledger types.
+
+The sharded coordinator reassembles a fleet run from per-shard pieces,
+so the pieces must (a) survive the process boundary — pickle round-trip
+without loss — and (b) merge associatively and order-insensitively, or
+the merged totals would depend on shard completion order.  Hypothesis
+pins both laws.  Costs are drawn dyadic (multiples of 0.25), where float
+addition is exact and the laws hold with ``==`` rather than ``approx``
+— mirroring the exact-equality ledger pin in ``test_sharded.py``.
+"""
+
+import json
+import pickle
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.marshaller import MarshallingReport
+from repro.cloud.service import Detection, UsageLedger
+from repro.fleet import FleetReport
+
+#: Dyadic, non-negative costs: exactly representable, exactly summable.
+dyadic = st.integers(min_value=0, max_value=2**20).map(lambda n: n * 0.25)
+counts = st.integers(min_value=0, max_value=10**6)
+event_names = st.sampled_from(["E1", "E7", "E9"])
+
+
+@st.composite
+def ledgers(draw):
+    ledger = UsageLedger(
+        frames_processed=draw(counts),
+        requests=draw(counts),
+        total_cost=draw(dyadic),
+        frames_per_event=draw(
+            st.dictionaries(event_names, counts, max_size=3)
+        ),
+    )
+    return ledger
+
+
+@st.composite
+def detections_list(draw):
+    out = []
+    for _ in range(draw(st.integers(0, 3))):
+        start = draw(st.integers(0, 5000))
+        out.append(
+            Detection(
+                event_name=draw(event_names),
+                start=start,
+                end=start + draw(st.integers(0, 500)),
+            )
+        )
+    return out
+
+
+@st.composite
+def reports(draw):
+    report = MarshallingReport(
+        horizons_evaluated=draw(counts),
+        frames_covered=draw(counts),
+        frames_relayed=draw(counts),
+        total_cost=draw(dyadic),
+        detections=draw(detections_list()),
+        true_event_frames=draw(counts),
+        detected_event_frames=draw(counts),
+        segments_failed=draw(counts),
+        segments_deferred=draw(counts),
+        frames_lost=draw(counts),
+        lost_event_frames=draw(counts),
+        retries=draw(counts),
+        frames_invalid=draw(counts),
+        frames_imputed=draw(counts),
+        guarantee_voided_frames=draw(counts),
+        quarantined_frames=draw(counts),
+        health_transitions=draw(counts),
+        model_swaps=draw(counts),
+        swap_voided_frames=draw(counts),
+    )
+    return report
+
+
+def ledger_key(ledger):
+    return (
+        ledger.frames_processed,
+        ledger.requests,
+        ledger.total_cost,
+        tuple(sorted(ledger.frames_per_event.items())),
+    )
+
+
+def report_key(report):
+    # Canonical form: counter dict plus the detection multiset (merge
+    # concatenates detections in input order, which must not matter).
+    # Derived ratios are NaN for empty reports and NaN != NaN, so the
+    # dict goes through json (where NaN serializes identically).
+    out = json.dumps(report.to_dict(include_detections=False), sort_keys=True)
+    dets = sorted((d.event_name, d.start, d.end) for d in report.detections)
+    return (out, tuple(dets))
+
+
+# ----------------------------------------------------------------------
+# Merge laws
+# ----------------------------------------------------------------------
+@given(st.lists(ledgers(), min_size=1, max_size=6), st.randoms())
+@settings(max_examples=100, deadline=None)
+def test_ledger_merge_is_order_insensitive(items, rng):
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert ledger_key(UsageLedger.merged(items)) == ledger_key(
+        UsageLedger.merged(shuffled)
+    )
+
+
+@given(ledgers(), ledgers(), ledgers())
+@settings(max_examples=100, deadline=None)
+def test_ledger_merge_is_associative(a, b, c):
+    left = UsageLedger.merged([UsageLedger.merged([a, b]), c])
+    right = UsageLedger.merged([a, UsageLedger.merged([b, c])])
+    assert ledger_key(left) == ledger_key(right)
+
+
+@given(ledgers())
+@settings(max_examples=50, deadline=None)
+def test_ledger_merge_identity(a):
+    assert ledger_key(UsageLedger.merged([a])) == ledger_key(a)
+    assert ledger_key(UsageLedger().merge(a)) == ledger_key(a)
+
+
+@given(st.lists(reports(), min_size=1, max_size=5), st.randoms())
+@settings(max_examples=100, deadline=None)
+def test_report_merge_is_order_insensitive(items, rng):
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert report_key(MarshallingReport.merged(items)) == report_key(
+        MarshallingReport.merged(shuffled)
+    )
+
+
+@given(reports(), reports(), reports())
+@settings(max_examples=100, deadline=None)
+def test_report_merge_is_associative(a, b, c):
+    left = MarshallingReport.merged([MarshallingReport.merged([a, b]), c])
+    right = MarshallingReport.merged([a, MarshallingReport.merged([b, c])])
+    assert report_key(left) == report_key(right)
+
+
+def test_merge_does_not_mutate_inputs():
+    a = UsageLedger(frames_processed=1, requests=1, total_cost=0.25,
+                    frames_per_event={"E1": 1})
+    b = UsageLedger(frames_processed=2, requests=2, total_cost=0.5,
+                    frames_per_event={"E1": 2})
+    before = (ledger_key(a), ledger_key(b))
+    UsageLedger.merged([a, b])
+    assert (ledger_key(a), ledger_key(b)) == before
+
+
+# ----------------------------------------------------------------------
+# Pickle round-trips (what the shard pipe actually carries)
+# ----------------------------------------------------------------------
+@given(ledgers())
+@settings(max_examples=50, deadline=None)
+def test_ledger_pickle_round_trip(ledger):
+    clone = pickle.loads(pickle.dumps(ledger))
+    assert ledger_key(clone) == ledger_key(ledger)
+
+
+@given(reports())
+@settings(max_examples=50, deadline=None)
+def test_report_pickle_round_trip(report):
+    clone = pickle.loads(pickle.dumps(report))
+    assert report_key(clone) == report_key(report)
+    assert json.dumps(
+        clone.to_dict(include_detections=True), sort_keys=True
+    ) == json.dumps(report.to_dict(include_detections=True), sort_keys=True)
+
+
+@given(st.lists(reports(), min_size=1, max_size=4), counts, dyadic)
+@settings(max_examples=50, deadline=None)
+def test_fleet_report_pickle_round_trip(items, ticks, cost):
+    fleet = FleetReport(
+        per_stream=OrderedDict(
+            (f"lane{i}", report) for i, report in enumerate(items)
+        ),
+        ticks=ticks,
+        max_batch_size=len(items),
+        relays_flushed=ticks,
+        shared_cost=cost,
+        shared_frames=ticks,
+        shed_transitions=1,
+        readmit_transitions=1,
+    )
+    clone = pickle.loads(pickle.dumps(fleet))
+    assert json.dumps(clone.to_dict(), sort_keys=True) == json.dumps(
+        fleet.to_dict(), sort_keys=True
+    )
+    # OrderedDict order (the original lane order) survives the pipe.
+    assert list(clone.per_stream) == list(fleet.per_stream)

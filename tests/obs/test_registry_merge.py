@@ -1,0 +1,170 @@
+"""Cross-process registry aggregation: dump_state / merge_from semantics.
+
+Shard workers ship ``MetricsRegistry.dump_state()`` payloads home and the
+coordinator folds them with ``merge_from``.  These tests pin the merge
+semantics per metric kind — counters add, gauges union envelopes and take
+the merged last value, histograms add exact moments and decimate merged
+reservoirs deterministically — plus the payload properties the pipe
+relies on (picklable, JSON-able, lossless for exact fields).
+"""
+
+import json
+import pickle
+
+from repro.obs.registry import MetricsRegistry
+
+
+def test_counter_merge_adds():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x").inc(3)
+    b.counter("x").inc(4)
+    b.counter("y").inc(1)
+    a.merge_from(b.dump_state())
+    assert a.counter("x").value == 7.0
+    assert a.counter("y").value == 1.0
+
+
+def test_gauge_merge_takes_merged_value_and_unions_envelope():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.gauge("g").set(5.0)
+    a.gauge("g").set(2.0)  # envelope [2, 5], value 2
+    b.gauge("g").set(10.0)
+    b.gauge("g").set(7.0)  # envelope [7, 10], value 7
+    a.merge_from(b.dump_state())
+    snap = a.gauge("g").snapshot()
+    assert snap["value"] == 7.0
+    assert snap["min"] == 2.0
+    assert snap["max"] == 10.0
+
+
+def test_never_set_gauge_is_a_merge_noop():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.gauge("g").set(1.0)
+    b.gauge("g")  # created but never set: all-NaN snapshot
+    a.merge_from(b.dump_state())
+    snap = a.gauge("g").snapshot()
+    assert snap["value"] == 1.0
+    assert snap["min"] == 1.0 and snap["max"] == 1.0
+
+
+def test_histogram_merge_adds_exact_moments():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for value in (1.0, 2.0, 3.0):
+        a.histogram("h").observe(value)
+    for value in (10.0, 20.0):
+        b.histogram("h").observe(value)
+    a.merge_from(b.dump_state())
+    h = a.histogram("h")
+    assert h.count == 5
+    assert h.sum == 36.0
+    snap = h.snapshot()
+    assert snap["min"] == 1.0
+    assert snap["max"] == 20.0
+
+
+def test_empty_histogram_is_a_merge_noop():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h").observe(1.0)
+    b.histogram("h")  # created, zero observations
+    a.merge_from(b.dump_state())
+    assert a.histogram("h").count == 1
+
+
+def test_histogram_merge_invalidates_percentile_cache():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for value in range(10):
+        a.histogram("h").observe(float(value))
+    before = a.histogram("h").percentile(99)  # populates the cached scan
+    for value in range(100, 110):
+        b.histogram("h").observe(float(value))
+    a.merge_from(b.dump_state())
+    after = a.histogram("h").percentile(99)
+    assert after > before
+
+
+def test_histogram_merge_decimates_reservoir_deterministically():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    ha = a.histogram("h", capacity=8)
+    hb = b.histogram("h", capacity=8)
+    for value in range(8):
+        ha.observe(float(value))
+    for value in range(8):
+        hb.observe(float(100 + value))
+    payload = b.dump_state()
+    a.merge_from(payload)
+    merged = a.histogram("h")
+    assert merged.count == 16
+    assert len(merged.dump_state()["reservoir"]) == 8
+    # Deterministic: an identical merge elsewhere yields identical state.
+    c = MetricsRegistry()
+    hc = c.histogram("h", capacity=8)
+    for value in range(8):
+        hc.observe(float(value))
+    c.merge_from(payload)
+    assert c.histogram("h").dump_state() == merged.dump_state()
+
+
+def test_merge_is_order_deterministic_for_counters_and_histogram_moments():
+    """Folding the same shard states in the same order twice produces the
+    same registry; counters and exact histogram moments are additionally
+    order-*insensitive* (integer/float addition over disjoint accounts)."""
+    shards = []
+    for i in range(3):
+        r = MetricsRegistry()
+        r.counter("c").inc(i + 1)
+        r.histogram("h").observe(float(i))
+        r.gauge("g").set(float(i))
+        shards.append(r.dump_state())
+
+    forward = MetricsRegistry()
+    for state in shards:
+        forward.merge_from(state)
+    backward = MetricsRegistry()
+    for state in reversed(shards):
+        backward.merge_from(state)
+
+    assert forward.counter("c").value == backward.counter("c").value == 6.0
+    assert forward.histogram("h").count == backward.histogram("h").count
+    assert forward.histogram("h").sum == backward.histogram("h").sum
+    # Gauge last-value follows merge order by design (the coordinator
+    # folds shards in index order, making it deterministic).
+    assert forward.gauge("g").value == 2.0
+    assert backward.gauge("g").value == 0.0
+
+
+def test_dump_state_is_picklable_and_jsonable():
+    r = MetricsRegistry()
+    r.counter("c").inc(2)
+    r.gauge("g").set(1.5)
+    r.histogram("h").observe(3.0)
+    state = r.dump_state()
+    assert pickle.loads(pickle.dumps(state)) == state
+    json.dumps(state)  # must not raise
+
+
+def test_merge_from_creates_missing_metrics_with_capacity():
+    src = MetricsRegistry()
+    src.histogram("h", capacity=4).observe(1.0)
+    dst = MetricsRegistry()
+    dst.merge_from(src.dump_state())
+    assert dst.histogram("h").capacity == 4
+    assert dst.histogram("h").count == 1
+
+
+def test_merge_from_then_snapshot_equals_single_registry():
+    """The end-to-end pin: metrics recorded in two registries and merged
+    equal the same metrics recorded in one (for exact fields)."""
+    one = MetricsRegistry()
+    left, right = MetricsRegistry(), MetricsRegistry()
+    for i in range(10):
+        target = left if i % 2 == 0 else right
+        target.counter("events").inc()
+        one.counter("events").inc()
+        target.histogram("latency").observe(float(i))
+        one.histogram("latency").observe(float(i))
+    merged = MetricsRegistry()
+    merged.merge_from(left.dump_state())
+    merged.merge_from(right.dump_state())
+    assert merged.counter("events").value == one.counter("events").value
+    assert merged.histogram("latency").count == one.histogram("latency").count
+    assert merged.histogram("latency").sum == one.histogram("latency").sum
