@@ -21,6 +21,8 @@ reachable from the shell::
     python -m repro.cli fleet --task TA10 --streams 8 --scheduler deadline
     python -m repro.cli fleet --task TA10 --fleet-sizes 1,4,16   # sweep
     python -m repro.cli watch --task TA10 --streams 4 --fault-rate 0.2
+    python -m repro.cli watch --task TA10 --streams 6 --shards 3 \
+        --shard-fault-rate 0.5 --plain          # supervised shard chaos
     python -m repro.cli slo --from timeseries.json --spec slos.json
 
 All experiment-backed commands accept ``--scale/--epochs/--records/--seed``
@@ -47,7 +49,13 @@ from .cloud import (
     ResilientCIClient,
     RetryPolicy,
 )
-from .fleet import PARTITIONS, SCHEDULERS, FleetCIService
+from .fleet import (
+    PARTITIONS,
+    SCHEDULERS,
+    FleetCIService,
+    ShardFaultPlan,
+    SupervisorConfig,
+)
 from .ingest import IngestFaultPlan
 from .lifecycle import LifecycleFaultPlan
 from .harness import (
@@ -138,6 +146,114 @@ def _add_shard_args(parser: argparse.ArgumentParser) -> None:
         help="multiprocessing start method for shard workers "
         "(default: platform default)",
     )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the sharded fleet under the self-healing shard "
+        "supervisor (liveness FSM, checkpointed deterministic restarts, "
+        "rescue/degrade escalation); implied by any --shard-fault-* flag",
+    )
+    parser.add_argument(
+        "--shard-fault-plan",
+        default=None,
+        metavar="FILE",
+        help="load a ShardFaultPlan from FILE (JSON) and inject its "
+        "process-level faults (crash/SIGKILL/stall/slow/startup hang) "
+        "into the shard workers",
+    )
+    parser.add_argument(
+        "--shard-fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="draw a seeded ShardFaultPlan giving each shard probability "
+        "P of one process-level fault (ignored when --shard-fault-plan "
+        "is given)",
+    )
+    parser.add_argument(
+        "--shard-fault-plan-out",
+        default=None,
+        metavar="FILE",
+        help="write the shard fault plan actually used to FILE (JSON) "
+        "for replay via --shard-fault-plan",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="supervised restart budget per shard before escalation",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=8,
+        metavar="TICKS",
+        help="supervised per-shard lane-state checkpoint cadence",
+    )
+    parser.add_argument(
+        "--suspect-after",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="heartbeat silence before a LIVE shard turns SUSPECT",
+    )
+    parser.add_argument(
+        "--dead-after",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat silence before a SUSPECT shard is declared DEAD "
+        "and restarted",
+    )
+    parser.add_argument(
+        "--escalation",
+        default="rescue",
+        choices=["rescue", "degrade"],
+        help="what to do with a shard whose restart budget is exhausted: "
+        "rescue = replay its lanes in the coordinator (exact), degrade = "
+        "serve them relay-all (never drops frames)",
+    )
+    parser.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-shard startup deadline (worker must say hello within "
+        "this budget; unsupervised runs fail fast naming the shard, "
+        "supervised runs restart it)",
+    )
+
+
+def _shard_supervision(args: argparse.Namespace):
+    """Resolve the shard fault plan and supervisor config from CLI flags.
+
+    Returns ``(supervisor, plan)``; any ``--shard-fault-*`` flag implies
+    supervision (an unsupervised coordinator would just surface the
+    injected crash as a run failure).
+    """
+    plan = None
+    if args.shard_fault_plan is not None:
+        with open(args.shard_fault_plan, "r", encoding="utf-8") as handle:
+            plan = ShardFaultPlan.from_json(handle.read())
+    elif args.shard_fault_rate > 0:
+        plan = ShardFaultPlan.seeded(
+            args.shards, rate=args.shard_fault_rate, seed=args.seed
+        )
+    if args.shard_fault_plan_out is not None and plan is not None:
+        with open(args.shard_fault_plan_out, "w", encoding="utf-8") as handle:
+            handle.write(plan.to_json())
+    supervisor = None
+    if args.supervise or plan is not None:
+        supervisor = SupervisorConfig(
+            suspect_after=args.suspect_after,
+            dead_after=args.dead_after,
+            startup_deadline=args.startup_timeout,
+            max_restarts=args.max_restarts,
+            escalation=args.escalation,
+            checkpoint_every=args.checkpoint_every,
+        )
+    return supervisor, plan
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -683,6 +799,7 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
         return
     lanes = build_fleet_lanes(experiment, args.streams, seed=args.seed)
     if args.shards > 1:
+        supervisor, shard_plan = _shard_supervision(args)
         sharded = sharded_fleet_marshaller(
             experiment,
             args.shards,
@@ -694,6 +811,9 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
             gate_delta=args.gate_delta,
             partition=args.partition,
             start_method=args.start_method,
+            supervisor=supervisor,
+            shard_fault_plan=shard_plan,
+            startup_timeout=args.startup_timeout,
         )
         report = sharded.run(lanes, max_horizons=args.max_horizons)
     else:
@@ -747,6 +867,41 @@ def _run_fleet(args: argparse.Namespace, out) -> None:
             f"ledger_requests: {report.ledger.requests}",
             file=out,
         )
+        _print_supervision(report, out)
+
+
+def _print_supervision(report, out) -> None:
+    """Render the supervisor's post-run summary (supervised runs only)."""
+    supervision = getattr(report, "supervision", None)
+    if not supervision:
+        return
+    print(file=out)
+    print("== supervision ==", file=out)
+    liveness = supervision["liveness"]
+    print(
+        "liveness: "
+        + " ".join(f"shard{idx}={state}" for idx, state in liveness.items()),
+        file=out,
+    )
+    print(f"restarts: {supervision['restarts']}", file=out)
+    print(f"checkpoints: {supervision['checkpoints_taken']}", file=out)
+    print(
+        f"replay_divergences: {supervision['replay_divergences']}", file=out
+    )
+    if supervision.get("rescued_lanes"):
+        print(f"rescued_lanes: {supervision['rescued_lanes']}", file=out)
+    if supervision.get("degraded_lanes"):
+        print(f"degraded_lanes: {supervision['degraded_lanes']}", file=out)
+    events = supervision.get("events", [])
+    if events:
+        print(f"events ({len(events)}):", file=out)
+        for event in events:
+            print(
+                f"  shard {event['shard']} attempt {event['attempt']}: "
+                f"{event['kind']}"
+                + (f" ({event['detail']})" if event.get("detail") else ""),
+                file=out,
+            )
 
 
 def _run_watch(args: argparse.Namespace, out) -> None:
@@ -880,6 +1035,7 @@ def _run_watch_sharded(args: argparse.Namespace, out, experiment, lanes) -> None
     run summary, shed/admission transitions, flight-recorder dumps —
     once every shard reports in.
     """
+    supervisor, shard_plan = _shard_supervision(args)
     sharded = sharded_fleet_marshaller(
         experiment,
         args.shards,
@@ -894,25 +1050,48 @@ def _run_watch_sharded(args: argparse.Namespace, out, experiment, lanes) -> None
         seed=args.seed,
         start_method=args.start_method,
         heartbeat_every=max(1, args.refresh_ticks),
+        supervisor=supervisor,
+        shard_fault_plan=shard_plan,
+        startup_timeout=args.startup_timeout,
     )
     failure_policy = args.failure_policy if args.fault_rate > 0 else "raise"
     title = (
         f"repro watch | {args.task} | {args.streams} streams "
         f"| {args.shards} shards"
+        + (" | supervised" if supervisor is not None else "")
     )
     print(title, file=out)
+    if shard_plan is not None and shard_plan.faults:
+        for fault in shard_plan.faults:
+            print(
+                f"[fault plan] shard {fault.shard} attempt {fault.attempt}: "
+                f"{fault.kind} @ tick {fault.tick}",
+                file=out,
+            )
 
-    def progress(shard: int, tick: int) -> None:
-        print(f"[shard {shard}] tick {tick}", file=out)
+    def _flush() -> None:
         flush = getattr(out, "flush", None)
         if flush is not None:
             flush()
+
+    def progress(shard: int, tick: int) -> None:
+        print(f"[shard {shard}] tick {tick}", file=out)
+        _flush()
+
+    def liveness(shard: int, state: str, detail: str) -> None:
+        print(
+            f"[shard {shard}] liveness {state}"
+            + (f" ({detail})" if detail else ""),
+            file=out,
+        )
+        _flush()
 
     report = sharded.run(
         lanes,
         max_horizons=args.max_horizons,
         failure_policy=failure_policy,
         on_heartbeat=progress,
+        on_liveness=liveness if supervisor is not None else None,
     )
 
     print(file=out)
@@ -939,6 +1118,7 @@ def _run_watch_sharded(args: argparse.Namespace, out, experiment, lanes) -> None
         f"cost={report.ledger.total_cost:.4f}",
         file=out,
     )
+    _print_supervision(report, out)
     recorder = obs.get_flight_recorder()
     if recorder.dumps:
         print(file=out)

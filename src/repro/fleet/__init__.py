@@ -14,6 +14,13 @@ processes (each a complete marshalling stack) and merges reports,
 ledgers, and observability exactly, while :class:`AdmissionController`
 bounds intake and sheds pressured lanes to a degraded relay-all tier —
 never dropping frames.
+
+The fleet also survives its own processes: a
+:class:`SupervisorConfig` turns the coordinator into a self-healing
+control plane (liveness FSM, checkpointed deterministic restarts,
+rescue/degrade escalation), and a seeded :class:`ShardFaultPlan`
+injects the process-level chaos (crash / SIGKILL / stall / slow /
+startup hang) that proves it.
 """
 
 from .admission import (
@@ -35,6 +42,21 @@ from .scheduler import (
     make_scheduler,
 )
 from .service import FleetCIService
+from .shard_faults import (
+    SHARD_FAULT_KINDS,
+    ShardCrash,
+    ShardFault,
+    ShardFaultInjector,
+    ShardFaultPlan,
+)
+from .supervisor import (
+    LIVENESS_STATES,
+    CheckpointCorruption,
+    ShardCheckpoint,
+    ShardSupervisor,
+    SupervisorConfig,
+    SupervisorEvent,
+)
 from .sharded import (
     PARTITIONS,
     ChaosServiceFactory,
@@ -75,4 +97,15 @@ __all__ = [
     "contiguous_partition",
     "striped_partition",
     "make_partition",
+    "SupervisorConfig",
+    "ShardSupervisor",
+    "SupervisorEvent",
+    "ShardCheckpoint",
+    "CheckpointCorruption",
+    "LIVENESS_STATES",
+    "ShardFaultPlan",
+    "ShardFault",
+    "ShardFaultInjector",
+    "ShardCrash",
+    "SHARD_FAULT_KINDS",
 ]

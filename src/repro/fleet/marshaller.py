@@ -654,6 +654,7 @@ class FleetMarshaller:
         on_tick=None,
         lifecycle=None,
         lane_modes: Optional[Dict[str, str]] = None,
+        probe=None,
     ) -> FleetReport:
         """Marshal every lane tick by tick through the shared ``service``.
 
@@ -701,6 +702,13 @@ class FleetMarshaller:
         transition counts, and trigger flight-recorder dumps.  A mapping
         that never leaves ``"serve"`` yields reports byte-identical to a
         run without one.
+
+        ``probe``, when given, is called as ``probe(tick, states, report,
+        service)`` after ``on_tick`` with the *live* per-lane run states —
+        the read-only seam the shard supervisor's checkpointer captures
+        lane cursors and shadow-ledger totals through.  A probe must not
+        mutate anything it is shown; one that only reads leaves the run
+        byte-identical to a run without it.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -864,6 +872,8 @@ class FleetMarshaller:
                     )
                 if on_tick is not None:
                     on_tick(tick)
+                if probe is not None:
+                    probe(tick, states, report, service)
                 tick += 1
 
         for state in states:

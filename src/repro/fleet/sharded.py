@@ -28,11 +28,26 @@ the results exactly:
   (:meth:`~repro.obs.MetricsRegistry.merge_from`), renaming each shard's
   fleet pseudo-lane so flight rings never collide.
 
-Worker processes communicate over one duplex pipe each: heartbeat
-messages stream back per tick (the coordinator's liveness/progress
-signal) and a single :class:`ShardResult` returns at the end.  Workers
-never share state; a crashed shard surfaces as a
-:class:`RuntimeError` naming the shard and carrying its traceback.
+Worker processes communicate over one duplex pipe each: a hello message
+on startup (the spawn deadline's signal), heartbeat messages per tick
+(the coordinator's liveness/progress signal), periodic self-checksummed
+:class:`~repro.fleet.supervisor.ShardCheckpoint` snapshots when
+supervision is on, and a single :class:`ShardResult` at the end.
+Workers never share state.  Without supervision a crashed shard
+surfaces as a :class:`RuntimeError` naming the shard and carrying its
+traceback — but every exit path now terminates, joins, and closes the
+whole worker set first, so a failed run never leaks children or pipes.
+
+With a :class:`~repro.fleet.supervisor.SupervisorConfig` the
+coordinator becomes self-healing: every wait is bounded, a liveness FSM
+(LIVE→SUSPECT→DEAD) reaps crashed *and* wedged workers, dead shards
+respawn under a bounded restart budget and replay deterministically
+(verified checkpoint-by-checkpoint), and shards that exhaust the budget
+escalate — their lanes re-run in the coordinator, exactly
+(``"rescue"``) or through the relay-all degraded tier (``"degrade"``) —
+so frames are never dropped and the merged ledger stays exactly-once.
+Process-level chaos to exercise all of it comes from a seeded
+:class:`~repro.fleet.shard_faults.ShardFaultPlan`.
 
 Admission control composes per shard: give the coordinator an
 :class:`~repro.fleet.admission.AdmissionConfig` and every worker runs
@@ -63,6 +78,7 @@ from ..obs import (
     configure,
     get_flight_recorder,
     get_registry,
+    get_timeseries,
     inc,
     is_enabled,
     log_info,
@@ -73,6 +89,8 @@ from ..obs import (
 from ..obs.flight import FLEET_LANE
 from .admission import AdmissionConfig, AdmissionController, AdmissionDriver, Transition
 from .marshaller import FleetLane, FleetMarshaller, FleetReport
+from .shard_faults import ShardFaultInjector, ShardFaultPlan
+from .supervisor import ShardCheckpoint, ShardSupervisor, SupervisorConfig
 from .service import FleetCIService
 
 __all__ = [
@@ -210,6 +228,15 @@ class ShardedFleetReport(FleetReport):
     the slowest defines fleet wall time) while relay/shed counters and
     costs are sums.  ``ledger`` is the exact multi-account rollup of the
     per-shard :class:`~repro.cloud.service.UsageLedger` deltas.
+
+    ``heartbeats`` counts only the heartbeats of worker attempts that
+    *completed* — a supervised run that restarted a shard replays the
+    dead attempt's ticks, and counting both would make an otherwise
+    byte-identical recovery visibly different from the fault-free run.
+    ``supervision`` (never serialized by :meth:`to_dict`, for the same
+    reason) carries the recovery history of a supervised run: final
+    liveness per shard, restart counts, checkpoint/divergence totals,
+    the supervisor event log, and any rescued/degraded lane names.
     """
 
     num_shards: int = 0
@@ -219,6 +246,7 @@ class ShardedFleetReport(FleetReport):
     heartbeats: int = 0
     ledger: UsageLedger = field(default_factory=UsageLedger)
     admission_events: List[Tuple[int, Transition]] = field(default_factory=list)
+    supervision: Optional[Dict] = None
 
     @property
     def critical_path_seconds(self) -> float:
@@ -251,18 +279,56 @@ class ShardedFleetReport(FleetReport):
 # Worker side
 # ----------------------------------------------------------------------
 class _HeartbeatSender:
-    """Per-tick pipe heartbeat, decimated to every ``every`` ticks."""
+    """Per-tick pipe heartbeat, decimated to every ``every`` ticks.
 
-    def __init__(self, conn, shard_index: int, every: int):
+    When a :class:`~repro.fleet.shard_faults.ShardFaultInjector` is
+    armed, the injector's tick hook runs *before* the heartbeat send —
+    a worker scheduled to die at tick T never reports tick T alive —
+    and the ``slow`` fault suppresses sends.  With no injector the
+    behavior is byte-identical to the unsupervised PR 9 sender.
+    """
+
+    def __init__(self, conn, shard_index: int, every: int, injector=None):
         self.conn = conn
         self.shard_index = shard_index
         self.every = max(1, int(every))
         self.ticks = 0
+        self.injector = injector
 
     def __call__(self, tick: int) -> None:
         self.ticks += 1
+        if self.injector is not None:
+            self.injector.on_tick(self.ticks)
+            if self.injector.suppress_heartbeat(self.ticks):
+                return
         if tick % self.every == 0:
             self.conn.send(("tick", self.shard_index, tick))
+
+
+class _CheckpointSender:
+    """Ship a self-checksummed lane-state checkpoint every N worker ticks.
+
+    Counts ticks itself so checkpoint ids stay monotone across admission
+    waves (each wave restarts the marshaller's tick at zero); the id is
+    therefore a pure function of worker progress — exactly what replay
+    verification compares digests on.
+    """
+
+    def __init__(self, conn, shard_index: int, attempt: int, every: int):
+        self.conn = conn
+        self.shard_index = shard_index
+        self.attempt = attempt
+        self.every = max(1, int(every))
+        self.count = 0
+
+    def __call__(self, tick: int, states, report, service) -> None:
+        self.count += 1
+        if self.count % self.every != 0:
+            return
+        checkpoint = ShardCheckpoint.capture(
+            self.shard_index, self.attempt, self.count, states, service
+        )
+        self.conn.send(("ckpt", self.shard_index, checkpoint))
 
 def _fold_wave(total: FleetReport, wave: FleetReport) -> None:
     """Accumulate one admission wave's report into the shard total.
@@ -281,38 +347,47 @@ def _fold_wave(total: FleetReport, wave: FleetReport) -> None:
     total.shed_transitions += wave.shed_transitions
     total.readmit_transitions += wave.readmit_transitions
 
-def _run_shard(conn, shard_index: int, payload: Dict) -> ShardResult:
-    # Fresh observability singletons, always: under "fork" the child
-    # inherits the parent's registry and would double-count every metric
-    # it merges home; under "spawn" these are fresh anyway but the
-    # configure() switch still needs setting.
-    set_registry(MetricsRegistry())
-    set_flight_recorder(FlightRecorder())
-    set_timeseries(TimeSeriesStore())
-    configure(enabled=payload["telemetry"])
-
+def _execute_shard(
+    shard_index: int, payload: Dict, on_tick=None, probe=None
+) -> ShardResult:
+    """Run one shard's lanes to completion against the current obs
+    singletons — the body shared by worker processes and the
+    coordinator's escalation path (which swaps fresh singletons in
+    first, so a rescued shard merges through exactly the same door a
+    worker result does)."""
     fleet: FleetMarshaller = payload["fleet"]
     lanes: List[FleetLane] = payload["lanes"]
     run_kwargs: Dict = payload["run_kwargs"]
     factory = payload["service_factory"]
     admission: Optional[AdmissionConfig] = payload["admission"]
     signals = payload["admission_signals"]
+    lane_modes_override = payload.get("lane_modes")
 
     busy_start = time.process_time()
     service = factory(shard_index, [lane.stream for lane in lanes])
-    heartbeat = _HeartbeatSender(
-        conn, shard_index, payload["heartbeat_every"]
-    )
     admission_events: List[Transition] = []
-    if admission is None:
-        report = fleet.run(lanes, service, on_tick=heartbeat, **run_kwargs)
+    if lane_modes_override is not None:
+        # Degraded escalation: every lane pinned to the relay-all tier
+        # through the same lane-mode machinery admission shedding uses.
+        report = fleet.run(
+            lanes,
+            service,
+            on_tick=on_tick,
+            probe=probe,
+            lane_modes=dict(lane_modes_override),
+            **run_kwargs,
+        )
+    elif admission is None:
+        report = fleet.run(
+            lanes, service, on_tick=on_tick, probe=probe, **run_kwargs
+        )
     else:
         by_name = {lane.name: lane for lane in lanes}
         controller = AdmissionController(admission)
         serving, _ = controller.submit([lane.name for lane in lanes])
         lane_modes: Dict[str, str] = {}
         driver = AdmissionDriver(
-            controller, lane_modes, signals=signals, on_tick=heartbeat
+            controller, lane_modes, signals=signals, on_tick=on_tick
         )
         report = FleetReport(scheduler=fleet.scheduler.name)
         while serving:
@@ -320,6 +395,7 @@ def _run_shard(conn, shard_index: int, payload: Dict) -> ShardResult:
                 [by_name[name] for name in serving],
                 service,
                 on_tick=driver,
+                probe=probe,
                 lane_modes=lane_modes,
                 **run_kwargs,
             )
@@ -345,10 +421,48 @@ def _run_shard(conn, shard_index: int, payload: Dict) -> ShardResult:
         admission_events=admission_events,
     )
 
+def _run_shard(conn, shard_index: int, payload: Dict,
+               injector=None) -> ShardResult:
+    # Fresh observability singletons, always: under "fork" the child
+    # inherits the parent's registry and would double-count every metric
+    # it merges home; under "spawn" these are fresh anyway but the
+    # configure() switch still needs setting.
+    set_registry(MetricsRegistry())
+    set_flight_recorder(FlightRecorder())
+    set_timeseries(TimeSeriesStore())
+    configure(enabled=payload["telemetry"])
+
+    heartbeat = _HeartbeatSender(
+        conn, shard_index, payload["heartbeat_every"], injector=injector
+    )
+    probe = None
+    if payload.get("checkpoint_every"):
+        probe = _CheckpointSender(
+            conn, shard_index, payload.get("attempt", 0),
+            payload["checkpoint_every"],
+        )
+    return _execute_shard(shard_index, payload, on_tick=heartbeat, probe=probe)
+
 def _shard_worker(conn, shard_index: int, payload: Dict) -> None:
-    """Process entry point (module-level, so ``spawn`` can pickle it)."""
+    """Process entry point (module-level, so ``spawn`` can pickle it).
+
+    Protocol, in order: an armed startup fault fires first (a hung
+    import never says hello), then ``("hello", shard, attempt)``, then
+    per-tick ``("tick", shard, tick)`` heartbeats interleaved with
+    ``("ckpt", shard, checkpoint)`` snapshots, then exactly one of
+    ``("done", shard, ShardResult)`` or ``("error", shard, traceback)``.
+    A SIGKILLed worker sends nothing further — the coordinator sees a
+    bare pipe EOF.
+    """
+    attempt = payload.get("attempt", 0)
+    injector = None
+    plan: Optional[ShardFaultPlan] = payload.get("fault_plan")
     try:
-        result = _run_shard(conn, shard_index, payload)
+        if plan is not None:
+            injector = ShardFaultInjector(plan, shard_index, attempt, conn)
+            injector.at_startup()
+        conn.send(("hello", shard_index, attempt))
+        result = _run_shard(conn, shard_index, payload, injector=injector)
         conn.send(("done", shard_index, result))
     except Exception:
         conn.send(("error", shard_index, traceback.format_exc()))
@@ -395,6 +509,23 @@ class ShardedFleetMarshaller:
         smoke test to keep it that way.
     heartbeat_every:
         Stream a liveness heartbeat every N worker ticks.
+    supervisor:
+        Optional :class:`~repro.fleet.supervisor.SupervisorConfig`.
+        When given the run self-heals: bounded waits, the liveness FSM,
+        checkpointed deterministic restarts under a budget, and
+        rescue/degrade escalation when the budget runs out.  Without it
+        any shard failure is fatal (but cleanly so — every worker is
+        reaped and every pipe closed on the way out).
+    fault_plan:
+        Optional seeded
+        :class:`~repro.fleet.shard_faults.ShardFaultPlan` shipped to
+        every worker — process-level chaos (crash / SIGKILL / stall /
+        slow / startup hang) keyed on ``(shard, attempt)``.
+    startup_timeout:
+        Unsupervised runs only: seconds a spawned worker may take to
+        send its hello before the run fails fast naming the shard
+        (``None`` waits forever; supervised runs use the config's
+        ``startup_deadline`` instead).
     """
 
     def __init__(
@@ -407,11 +538,16 @@ class ShardedFleetMarshaller:
         admission_signals=None,
         start_method: Optional[str] = None,
         heartbeat_every: int = 1,
+        supervisor: Optional[SupervisorConfig] = None,
+        fault_plan: Optional[ShardFaultPlan] = None,
+        startup_timeout: Optional[float] = 120.0,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if heartbeat_every < 1:
             raise ValueError("heartbeat_every must be >= 1")
+        if startup_timeout is not None and startup_timeout <= 0:
+            raise ValueError("startup_timeout must be positive or None")
         self.fleet = fleet
         self.num_shards = int(num_shards)
         self.partition = make_partition(partition)
@@ -420,6 +556,9 @@ class ShardedFleetMarshaller:
         self.admission_signals = admission_signals
         self.start_method = start_method
         self.heartbeat_every = int(heartbeat_every)
+        self.supervisor = supervisor
+        self.fault_plan = fault_plan
+        self.startup_timeout = startup_timeout
 
     # ------------------------------------------------------------------
     def run(
@@ -431,6 +570,7 @@ class ShardedFleetMarshaller:
         max_deferrals: int = 8,
         guard=None,
         on_heartbeat: Optional[Callable[[int, int], None]] = None,
+        on_liveness: Optional[Callable[[int, str, str], None]] = None,
     ) -> ShardedFleetReport:
         """Marshal ``lanes`` across the shard fleet and merge the results.
 
@@ -439,7 +579,11 @@ class ShardedFleetMarshaller:
         shard's :meth:`FleetMarshaller.run`.  ``on_heartbeat``, when
         given, is called as ``on_heartbeat(shard_index, tick)`` for every
         heartbeat message a worker streams back — the live-progress hook
-        the ``watch --shards`` dashboard draws from.
+        the ``watch --shards`` dashboard draws from.  ``on_liveness``,
+        when given, is called as ``on_liveness(shard_index, state,
+        detail)`` on every supervised liveness transition (spawn, hello,
+        suspect, recovery, death, restart, failover) — the dashboard's
+        liveness column.
 
         Returns a :class:`ShardedFleetReport` whose ``per_stream``
         mapping follows the *original* lane order regardless of the
@@ -467,67 +611,21 @@ class ShardedFleetMarshaller:
         coordinator_seconds = time.perf_counter() - coord_start
 
         context = mp.get_context(self.start_method)
-        processes = []
-        pending: Dict[object, int] = {}
-        for index, shard in enumerate(shards):
-            payload = {
-                "fleet": self.fleet,
-                "lanes": shard,
-                "run_kwargs": run_kwargs,
-                "service_factory": self.service_factory,
-                "admission": self.admission,
-                "admission_signals": self.admission_signals,
-                "telemetry": telemetry,
-                "heartbeat_every": self.heartbeat_every,
-            }
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_shard_worker,
-                args=(child_conn, index, payload),
-                daemon=True,
+        if self.supervisor is not None:
+            results, heartbeats, supervision = self._run_supervised(
+                context, shards, run_kwargs, telemetry,
+                on_heartbeat, on_liveness,
             )
-            process.start()
-            child_conn.close()  # the worker owns its end now
-            processes.append(process)
-            pending[parent_conn] = index
-
-        results: Dict[int, ShardResult] = {}
-        errors: Dict[int, str] = {}
-        heartbeats = 0
-        while pending:
-            for conn in mp_connection.wait(list(pending)):
-                try:
-                    message = conn.recv()
-                except EOFError:
-                    index = pending.pop(conn)
-                    conn.close()
-                    if index not in results and index not in errors:
-                        errors[index] = "shard worker exited without a result"
-                    continue
-                kind = message[0]
-                if kind == "tick":
-                    _, index, tick = message
-                    heartbeats += 1
-                    if on_heartbeat is not None:
-                        on_heartbeat(index, tick)
-                elif kind == "done":
-                    results[message[1]] = message[2]
-                elif kind == "error":
-                    errors[message[1]] = message[2]
-        for process in processes:
-            process.join()
-        if errors:
-            detail = "\n\n".join(
-                f"--- shard {index} ---\n{tb}"
-                for index, tb in sorted(errors.items())
+        else:
+            results, heartbeats = self._run_unsupervised(
+                context, shards, run_kwargs, telemetry, on_heartbeat
             )
-            raise RuntimeError(
-                f"{len(errors)} shard(s) failed:\n{detail}"
-            )
+            supervision = None
 
         merge_start = time.perf_counter()
         report = self._merge(lanes, shards, results, telemetry)
         report.heartbeats = heartbeats
+        report.supervision = supervision
         report.coordinator_seconds = (
             coordinator_seconds + time.perf_counter() - merge_start
         )
@@ -540,6 +638,333 @@ class ShardedFleetMarshaller:
             heartbeats=heartbeats,
         )
         return report
+
+    # ------------------------------------------------------------------
+    # Spawning and cleanup
+    # ------------------------------------------------------------------
+    def _payload(self, shard_lanes, run_kwargs, telemetry: bool,
+                 attempt: int, lane_modes=None) -> Dict:
+        return {
+            "fleet": self.fleet,
+            "lanes": shard_lanes,
+            "run_kwargs": run_kwargs,
+            "service_factory": self.service_factory,
+            "admission": self.admission,
+            "admission_signals": self.admission_signals,
+            "telemetry": telemetry,
+            "heartbeat_every": self.heartbeat_every,
+            "attempt": attempt,
+            "fault_plan": self.fault_plan,
+            "checkpoint_every": (
+                self.supervisor.checkpoint_every
+                if self.supervisor is not None else None
+            ),
+            "lane_modes": lane_modes,
+        }
+
+    def _spawn(self, context, index: int, payload: Dict):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_shard_worker,
+            args=(child_conn, index, payload),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker owns its end now
+        return process, parent_conn
+
+    @staticmethod
+    def _reap(processes, conns) -> None:
+        """Terminate, join, and close everything — every exit path ends
+        here, so a failed or interrupted run never leaks children or
+        pipe fds (and a wedged worker cannot outlive the coordinator)."""
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Unsupervised coordinator loop (fail-fast, leak-free)
+    # ------------------------------------------------------------------
+    def _run_unsupervised(
+        self, context, shards, run_kwargs, telemetry: bool, on_heartbeat
+    ) -> Tuple[Dict[int, ShardResult], int]:
+        processes: List = []
+        pending: Dict[object, int] = {}
+        results: Dict[int, ShardResult] = {}
+        errors: Dict[int, str] = {}
+        heartbeats = 0
+        hello_pending = set(range(len(shards)))
+        try:
+            for index, shard in enumerate(shards):
+                payload = self._payload(shard, run_kwargs, telemetry, 0)
+                process, conn = self._spawn(context, index, payload)
+                processes.append(process)
+                pending[conn] = index
+            deadline = (
+                time.monotonic() + self.startup_timeout
+                if self.startup_timeout is not None else None
+            )
+            while pending and not errors:
+                timeout = None
+                if hello_pending and deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                ready = mp_connection.wait(list(pending), timeout=timeout)
+                if (
+                    hello_pending
+                    and deadline is not None
+                    and not ready
+                    and time.monotonic() >= deadline
+                ):
+                    stuck = ", ".join(str(i) for i in sorted(hello_pending))
+                    raise RuntimeError(
+                        f"shard(s) {stuck} failed to start within "
+                        f"{self.startup_timeout:.1f}s (worker hung during "
+                        f"spawn/import); raise startup_timeout, pass "
+                        f"startup_timeout=None to wait forever, or run "
+                        f"supervised with a SupervisorConfig"
+                    )
+                for conn in ready:
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        index = pending.pop(conn)
+                        conn.close()
+                        hello_pending.discard(index)
+                        if index not in results and index not in errors:
+                            errors[index] = (
+                                "shard worker exited without a result"
+                            )
+                        continue
+                    kind = message[0]
+                    if kind == "hello":
+                        hello_pending.discard(message[1])
+                    elif kind == "tick":
+                        _, index, tick = message
+                        heartbeats += 1
+                        if on_heartbeat is not None:
+                            on_heartbeat(index, tick)
+                    elif kind == "ckpt":
+                        pass  # checkpoints are a supervised-run concern
+                    elif kind == "done":
+                        results[message[1]] = message[2]
+                    elif kind == "error":
+                        errors[message[1]] = message[2]
+            if errors:
+                detail = "\n\n".join(
+                    f"--- shard {index} ---\n{tb}"
+                    for index, tb in sorted(errors.items())
+                )
+                raise RuntimeError(
+                    f"{len(errors)} shard(s) failed:\n{detail}"
+                )
+            for process in processes:
+                process.join()
+        finally:
+            self._reap(processes, list(pending))
+        return results, heartbeats
+
+    # ------------------------------------------------------------------
+    # Supervised coordinator loop (self-healing)
+    # ------------------------------------------------------------------
+    def _run_supervised(
+        self, context, shards, run_kwargs, telemetry: bool,
+        on_heartbeat, on_liveness,
+    ) -> Tuple[Dict[int, ShardResult], int, Dict]:
+        config = self.supervisor
+        supervisor = ShardSupervisor(config, len(shards))
+        processes: Dict[int, object] = {}
+        conns: Dict[object, int] = {}
+        results: Dict[int, ShardResult] = {}
+        # Heartbeats of the attempt currently running / of the attempt
+        # that completed — only the latter reach the merged report, so a
+        # recovered run counts exactly like a fault-free one.
+        hb_current: Dict[int, int] = {}
+        hb_done: Dict[int, int] = {}
+        total_heartbeats = 0
+
+        def notify(shard: int, state: str, detail: str = "") -> None:
+            if on_liveness is not None:
+                on_liveness(shard, state, detail)
+
+        def spawn(index: int, attempt: int) -> None:
+            payload = self._payload(
+                shards[index], run_kwargs, telemetry, attempt
+            )
+            process, conn = self._spawn(context, index, payload)
+            processes[index] = process
+            conns[conn] = index
+            hb_current[index] = 0
+            supervisor.register_spawn(index, attempt, time.monotonic())
+            notify(index, "STARTING", f"attempt {attempt}")
+
+        def kill_worker(index: int) -> None:
+            process = processes.get(index)
+            if process is not None and process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+            for conn, owner in list(conns.items()):
+                if owner == index:
+                    del conns[conn]
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+
+        def handle_death(index: int, reason: str) -> None:
+            supervisor.on_death(index, time.monotonic(), reason)
+            if index in results:
+                return  # the result already landed; nothing to recover
+            if supervisor.should_restart(index):
+                spawn(index, supervisor.next_attempt(index))
+            else:
+                supervisor.mark_failed(index, reason)
+                notify(index, "FAILED", reason)
+
+        try:
+            for index in range(len(shards)):
+                spawn(index, 0)
+            while conns:
+                ready = mp_connection.wait(
+                    list(conns), timeout=config.poll_timeout
+                )
+                now = time.monotonic()
+                for conn in ready:
+                    index = conns.get(conn)
+                    if index is None:
+                        continue
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        del conns[conn]
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+                        if index not in results:
+                            kill_worker(index)
+                            handle_death(
+                                index, "pipe closed (worker died)"
+                            )
+                        continue
+                    kind = message[0]
+                    if kind == "hello":
+                        supervisor.on_hello(index, message[2], now)
+                        notify(index, "LIVE")
+                    elif kind == "tick":
+                        tick = message[2]
+                        hb_current[index] += 1
+                        total_heartbeats += 1
+                        recovered = (
+                            supervisor.liveness[index] == "SUSPECT"
+                        )
+                        supervisor.on_heartbeat(index, tick, now)
+                        if recovered:
+                            notify(index, "LIVE", "recovered")
+                        if on_heartbeat is not None:
+                            on_heartbeat(index, tick)
+                    elif kind == "ckpt":
+                        verdict = supervisor.on_checkpoint(
+                            index, message[2]
+                        )
+                        if verdict == "divergence":
+                            kill_worker(index)
+                            supervisor.mark_failed(
+                                index, "replay divergence"
+                            )
+                            notify(index, "FAILED", "replay divergence")
+                    elif kind == "done":
+                        results[index] = message[2]
+                        hb_done[index] = hb_current[index]
+                        supervisor.on_done(index)
+                        notify(index, "DONE")
+                    elif kind == "error":
+                        kill_worker(index)
+                        handle_death(
+                            index, f"worker error:\n{message[2]}"
+                        )
+                for index, what in supervisor.poll(time.monotonic()):
+                    if what == "suspect":
+                        notify(index, "SUSPECT", "heartbeat overdue")
+                    else:  # "dead" or "startup-timeout"
+                        kill_worker(index)
+                        handle_death(index, what.replace("-", " "))
+        finally:
+            self._reap(list(processes.values()), list(conns))
+
+        # Escalation: shards whose restart budget ran out re-run their
+        # lanes in the coordinator — exactly ("rescue") or through the
+        # relay-all tier ("degrade") — so no frame is ever dropped.
+        rescued: List[str] = []
+        degraded: List[str] = []
+        for index in supervisor.failed_shards:
+            result = self._escalate(
+                index, shards[index], run_kwargs, telemetry
+            )
+            results[index] = result
+            hb_done.setdefault(index, 0)
+            if config.escalation == "rescue":
+                rescued.extend(result.lane_names)
+            else:
+                degraded.extend(result.lane_names)
+            notify(index, "DONE", f"escalated ({config.escalation})")
+        supervision = supervisor.summary()
+        supervision["rescued_lanes"] = rescued
+        supervision["degraded_lanes"] = degraded
+        supervision["total_heartbeats"] = total_heartbeats
+        return results, sum(hb_done.values()), supervision
+
+    def _escalate(self, index: int, shard_lanes, run_kwargs,
+                  telemetry: bool) -> ShardResult:
+        """Run an orphaned shard's lanes in the coordinator process.
+
+        Fresh obs singletons are swapped in for the duration, so the
+        synthetic :class:`ShardResult` merges through exactly the same
+        path a worker's would — under ``"rescue"`` the output is
+        byte-identical to what the dead shard would have produced (same
+        seeded factory, same shard index), and the dead attempts' spend
+        never reaches the ledger, keeping billing exactly-once.
+        """
+        config = self.supervisor
+        lane_modes = None
+        if config.escalation == "degrade":
+            lane_modes = {lane.name: "relay-all" for lane in shard_lanes}
+        payload = self._payload(
+            shard_lanes, run_kwargs, telemetry, 0, lane_modes=lane_modes
+        )
+        payload["fault_plan"] = None  # chaos never follows lanes home
+        saved_registry = get_registry()
+        saved_recorder = get_flight_recorder()
+        saved_series = get_timeseries()
+        set_registry(MetricsRegistry())
+        set_flight_recorder(FlightRecorder())
+        set_timeseries(TimeSeriesStore())
+        try:
+            result = _execute_shard(index, payload)
+        finally:
+            set_registry(saved_registry)
+            set_flight_recorder(saved_recorder)
+            set_timeseries(saved_series)
+        inc(
+            f"fleet.supervisor.{config.escalation}d_lanes",
+            len(list(shard_lanes)),
+        )
+        log_info(
+            "fleet.supervisor.escalated",
+            shard=index,
+            mode=config.escalation,
+            lanes=len(list(shard_lanes)),
+        )
+        return result
 
     # ------------------------------------------------------------------
     def _merge(

@@ -29,6 +29,8 @@ from ..fleet import (
     FleetReport,
     PlainServiceFactory,
     ShardedFleetMarshaller,
+    ShardFaultPlan,
+    SupervisorConfig,
 )
 from ..obs import log_info, span
 from .chaos import chaos_marshaller
@@ -43,6 +45,7 @@ __all__ = [
     "continual_gate_sweep",
     "sharded_fleet_marshaller",
     "sharded_throughput_sweep",
+    "shard_chaos_sweep",
 ]
 
 #: Seed offset separating fleet streams from the builder's train/cal/test
@@ -247,6 +250,9 @@ def sharded_fleet_marshaller(
     admission: Optional[AdmissionConfig] = None,
     start_method: Optional[str] = None,
     heartbeat_every: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
+    shard_fault_plan: Optional[ShardFaultPlan] = None,
+    startup_timeout: Optional[float] = 120.0,
 ) -> ShardedFleetMarshaller:
     """The deployment-shaped multi-process fleet engine.
 
@@ -254,7 +260,10 @@ def sharded_fleet_marshaller(
     :class:`~repro.fleet.ShardedFleetMarshaller`; ``fault_rate > 0``
     swaps the per-shard service factory to a seeded
     :class:`~repro.fleet.ChaosServiceFactory` (resilient client over a
-    fault injector, shard-independent seeds).
+    fault injector, shard-independent seeds).  ``supervisor`` turns the
+    coordinator into the self-healing control plane, and
+    ``shard_fault_plan`` injects seeded process-level chaos
+    (:class:`~repro.fleet.ShardFaultPlan`) into the workers themselves.
     """
     fleet = fleet_marshaller(
         experiment,
@@ -277,7 +286,105 @@ def sharded_fleet_marshaller(
         admission=admission,
         start_method=start_method,
         heartbeat_every=heartbeat_every,
+        supervisor=supervisor,
+        fault_plan=shard_fault_plan,
+        startup_timeout=startup_timeout,
     )
+
+
+def shard_chaos_sweep(
+    experiment: Experiment,
+    num_streams: int = 8,
+    num_shards: int = 4,
+    fault_rate: float = 0.5,
+    max_horizons: Optional[int] = 2,
+    seed: int = 0,
+    kinds: Sequence[str] = ("crash", "sigkill", "stall"),
+    supervisor: Optional[SupervisorConfig] = None,
+) -> List[Dict[str, object]]:
+    """Recovery metrics for a supervised fleet under seeded shard chaos.
+
+    Draws a :meth:`~repro.fleet.ShardFaultPlan.seeded` fault plan, runs
+    the same lanes three times — fault-free single process (the
+    byte-identity reference), supervised fault-free, and supervised under
+    the plan — and reports one row per run with frames covered/lost,
+    ledger cost, restarts, escalations, and whether the merged chaos
+    report matched the fault-free reference byte-for-byte.  Every row
+    must show ``frames_lost == 0``; the chaos row shows
+    ``byte_identical`` whenever replay succeeded for every faulted
+    shard.  Backs the EXPERIMENTS.md recovery entry and the CI
+    shard-chaos cell.
+    """
+    if supervisor is None:
+        # Generous liveness deadlines so loaded CI boxes never mistake a
+        # slow-but-healthy worker for a hung one; stalls are still caught
+        # (just slowly) and every other fault kind kills the pipe outright.
+        supervisor = SupervisorConfig(
+            suspect_after=30.0, dead_after=60.0, checkpoint_every=4,
+            poll_timeout=0.05,
+        )
+    plan = ShardFaultPlan.seeded(
+        num_shards, rate=fault_rate, seed=seed, kinds=tuple(kinds)
+    )
+    fleet = fleet_marshaller(experiment)
+    lanes = build_fleet_lanes(experiment, num_streams, seed=seed)
+
+    import json as _json
+
+    def _canonical(report) -> str:
+        return _json.dumps(report.to_dict(), sort_keys=True)
+
+    with span("fleet.shard_chaos_sweep", shards=num_shards,
+              faults=len(plan.faults)):
+        service = FleetCIService([lane.stream for lane in lanes])
+        fleet.run(lanes, service, max_horizons=max_horizons)
+
+        rows: List[Dict[str, object]] = []
+        reference: Optional[str] = None
+        cells = (
+            ("fault-free", None),
+            ("supervised", None),
+            ("shard-chaos", plan),
+        )
+        for label, cell_plan in cells:
+            cfg = None if label == "fault-free" else supervisor
+            sharded = ShardedFleetMarshaller(
+                fleet, num_shards, supervisor=cfg, fault_plan=cell_plan
+            )
+            start = time.perf_counter()
+            report = sharded.run(lanes, max_horizons=max_horizons)
+            elapsed = time.perf_counter() - start
+            canon = _canonical(report)
+            if reference is None:
+                reference = canon
+            supervision = report.supervision or {}
+            row = {
+                "cell": label,
+                "streams": num_streams,
+                "shards": num_shards,
+                "faults": len(plan.faults) if cell_plan is not None else 0,
+                "frames": report.fleet.frames_covered,
+                "frames_lost": sum(
+                    s.frames_lost for s in report.per_stream.values()
+                ),
+                "cost": report.ledger.total_cost,
+                "restarts": sum(supervision.get("restarts", [])),
+                "rescued": len(supervision.get("rescued_lanes", [])),
+                "degraded": len(supervision.get("degraded_lanes", [])),
+                "wall_s": elapsed,
+                "byte_identical": canon == reference,
+                "ledger_exact": report.ledger == service.ledger,
+            }
+            rows.append(row)
+            log_info(
+                "fleet.shard_chaos_point",
+                cell=label,
+                faults=row["faults"],
+                frames_lost=row["frames_lost"],
+                restarts=row["restarts"],
+                byte_identical=row["byte_identical"],
+            )
+    return rows
 
 
 def sharded_throughput_sweep(

@@ -262,12 +262,17 @@ def default_fleet_slos(
     cost_per_tick: float = 25.0,
     frames_lost_ratio: float = 0.05,
     model_staleness_ticks: float = 500.0,
+    shard_availability: float = 0.75,
 ) -> Tuple[SLOSpec, ...]:
     """The standing objectives the fleet runs track by default.
 
     The model-staleness entry only produces samples when a
     :class:`~repro.lifecycle.LifecycleController` is attached (its gauge
-    is otherwise never set, and a series with no samples never violates).
+    is otherwise never set, and a series with no samples never violates);
+    likewise the shard-availability entry samples only when a
+    :class:`~repro.fleet.supervisor.ShardSupervisor` drives a sharded
+    run (the supervisor records its live-shard ratio on every liveness
+    transition).
     """
     return (
         SLOSpec(
@@ -294,6 +299,11 @@ def default_fleet_slos(
             name="model-staleness", series="lifecycle.model_staleness",
             objective="ceiling", target=model_staleness_ticks, budget=0.10,
             description="ticks since the serving model was last refreshed",
+        ),
+        SLOSpec(
+            name="shard-availability", series="fleet.supervisor.live_ratio",
+            objective="floor", target=shard_availability, budget=0.25,
+            description="live shard workers / total shards (supervised runs)",
         ),
     )
 
